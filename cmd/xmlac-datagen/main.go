@@ -1,0 +1,60 @@
+// Command xmlac-datagen generates the synthetic datasets used by the
+// benchmark harness (the Hospital document of the paper's motivating example
+// and the stand-ins for the WSU, Sigmod and Treebank documents of Table 2).
+//
+// Usage:
+//
+//	xmlac-datagen -dataset Hospital -scale 0.1 -out hospital.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlac/internal/dataset"
+	"xmlac/internal/xmlstream"
+)
+
+func main() {
+	name := flag.String("dataset", "Hospital", "dataset: Hospital, WSU, Sigmod or Treebank")
+	scale := flag.Float64("scale", 0.05, "scale factor (1.0 approximates the paper's document sizes)")
+	out := flag.String("out", "", "output file (default: stdout)")
+	stats := flag.Bool("stats", false, "print Table 2-style statistics to stderr")
+	flag.Parse()
+
+	if err := run(*name, *scale, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlac-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, scale float64, out string, stats bool) error {
+	spec, err := dataset.SpecByName(name)
+	if err != nil {
+		// Accept lowercase names too.
+		for _, s := range dataset.Specs() {
+			if strings.EqualFold(s.Name, name) {
+				spec, err = s, nil
+				break
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	doc := spec.Generate(scale)
+	text := xmlstream.SerializeTree(doc, true)
+	if out == "" {
+		fmt.Print(text)
+	} else if err := os.WriteFile(out, []byte(text), 0o644); err != nil {
+		return err
+	}
+	if stats {
+		st := xmlstream.ComputeStats(doc)
+		fmt.Fprintf(os.Stderr, "%s at scale %.3f: size=%d text=%d maxDepth=%d avgDepth=%.1f tags=%d textNodes=%d elements=%d\n",
+			spec.Name, scale, st.SerializedSize, st.TextSize, st.MaxDepth, st.AvgDepth, st.DistinctTags, st.TextNodes, st.Elements)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command xmlac-view evaluates an access-control policy (and optionally a
+// query) over a protected document produced by xmlac-protect, playing the
+// role of the client-side Secure Operating Environment, and prints the
+// authorized view.
+//
+// The policy is either one of the built-in profiles of the paper's
+// motivating example (-profile secretary | doctor:<physician> |
+// researcher[:G1,G2,...]) or a rules file (-rules) with one rule per line:
+//
+//   - //Folder/Admin
+//   - //Act[RPhys != USER]/Details
+//
+// Usage:
+//
+//	xmlac-view -in doc.xsec -passphrase "..." -profile doctor:DrA [-query "//Folder[Admin/Age>60]"] [-out view.xml]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlac"
+)
+
+func main() {
+	in := flag.String("in", "", "protected document (required)")
+	passphrase := flag.String("passphrase", "", "passphrase of the document key (required)")
+	profile := flag.String("profile", "", "built-in profile: secretary, doctor:<physician>, researcher[:G1,G2,...]")
+	rulesFile := flag.String("rules", "", "rules file (one '<sign> <xpath>' per line)")
+	subject := flag.String("subject", "user", "policy subject (substitutes USER in rule predicates)")
+	query := flag.String("query", "", "optional XPath query restricting the view")
+	out := flag.String("out", "", "output file (default: stdout)")
+	dummy := flag.Bool("dummy-names", false, "replace denied ancestor names with '_'")
+	showMetrics := flag.Bool("metrics", false, "print evaluation metrics to stderr")
+	flag.Parse()
+
+	if *in == "" || *passphrase == "" || (*profile == "" && *rulesFile == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *passphrase, *profile, *rulesFile, *subject, *query, *out, *dummy, *showMetrics); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlac-view:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, passphrase, profile, rulesFile, subject, query, out string, dummy, showMetrics bool) error {
+	blob, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	prot, err := xmlac.UnmarshalProtected(blob)
+	if err != nil {
+		return err
+	}
+	policy, err := buildPolicy(profile, rulesFile, subject)
+	if err != nil {
+		return err
+	}
+	view, metrics, err := prot.AuthorizedView(xmlac.DeriveKey(passphrase), policy, xmlac.ViewOptions{
+		Query:            query,
+		DummyDeniedNames: dummy,
+	})
+	if err != nil {
+		return err
+	}
+	output := view.IndentedXML()
+	if view.IsEmpty() {
+		output = "<!-- empty authorized view -->\n"
+	}
+	if out == "" {
+		fmt.Print(output)
+	} else if err := os.WriteFile(out, []byte(output), 0o644); err != nil {
+		return err
+	}
+	if showMetrics {
+		fmt.Fprintf(os.Stderr,
+			"transferred %d B, decrypted %d B, skipped %d B in %d subtrees; nodes permitted/denied/pending: %d/%d/%d; est. smart card time %.2fs\n",
+			metrics.BytesTransferred, metrics.BytesDecrypted, metrics.BytesSkipped, metrics.SubtreesSkipped,
+			metrics.NodesPermitted, metrics.NodesDenied, metrics.NodesPending, metrics.EstimatedSmartCardSeconds)
+	}
+	return nil
+}
+
+// buildPolicy resolves the -profile / -rules flags into a policy.
+func buildPolicy(profile, rulesFile, subject string) (xmlac.Policy, error) {
+	if profile != "" {
+		switch {
+		case profile == "secretary":
+			return xmlac.SecretaryPolicy(), nil
+		case strings.HasPrefix(profile, "doctor:"):
+			return xmlac.DoctorPolicy(strings.TrimPrefix(profile, "doctor:")), nil
+		case profile == "doctor":
+			return xmlac.Policy{}, fmt.Errorf("the doctor profile needs a physician: -profile doctor:<physician>")
+		case profile == "researcher":
+			return xmlac.ResearcherPolicy(), nil
+		case strings.HasPrefix(profile, "researcher:"):
+			groups := strings.Split(strings.TrimPrefix(profile, "researcher:"), ",")
+			return xmlac.ResearcherPolicy(groups...), nil
+		default:
+			return xmlac.Policy{}, fmt.Errorf("unknown profile %q", profile)
+		}
+	}
+	f, err := os.Open(rulesFile)
+	if err != nil {
+		return xmlac.Policy{}, err
+	}
+	defer f.Close()
+	policy := xmlac.Policy{Subject: subject}
+	scanner := bufio.NewScanner(f)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return xmlac.Policy{}, fmt.Errorf("%s:%d: expected '<sign> <xpath>'", rulesFile, lineNo)
+		}
+		policy.Rules = append(policy.Rules, xmlac.Rule{
+			ID:     fmt.Sprintf("L%d", lineNo),
+			Sign:   fields[0],
+			Object: strings.Join(fields[1:], " "),
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return xmlac.Policy{}, err
+	}
+	if err := policy.Validate(); err != nil {
+		return xmlac.Policy{}, err
+	}
+	return policy, nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlac"
+)
+
+func TestBuildPolicyProfiles(t *testing.T) {
+	cases := []struct {
+		profile string
+		rules   int
+		wantErr bool
+	}{
+		{"secretary", 1, false},
+		{"doctor:DrA", 4, false},
+		{"doctor", 0, true},
+		{"researcher", 3, false},
+		{"researcher:G1,G2", 5, false},
+		{"astronaut", 0, true},
+	}
+	for _, c := range cases {
+		p, err := buildPolicy(c.profile, "", "user")
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error", c.profile)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.profile, err)
+			continue
+		}
+		if len(p.Rules) != c.rules {
+			t.Errorf("%s: %d rules, want %d", c.profile, len(p.Rules), c.rules)
+		}
+	}
+}
+
+func TestBuildPolicyFromRulesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.txt")
+	content := `# medical team policy
++ //Folder/Admin
++ //MedActs[//RPhys = USER]
+- //Act[RPhys != USER]/Details
+
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := buildPolicy("", path, "DrA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 || p.Subject != "DrA" {
+		t.Fatalf("unexpected policy: %+v", p)
+	}
+	// Malformed rules file.
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("justoneword\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildPolicy("", bad, "u"); err == nil {
+		t.Fatal("malformed rules file must fail")
+	}
+	// Invalid XPath in the file.
+	invalid := filepath.Join(dir, "invalid.txt")
+	if err := os.WriteFile(invalid, []byte("+ not-a-path\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildPolicy("", invalid, "u"); err == nil {
+		t.Fatal("invalid xpath must fail")
+	}
+	if _, err := buildPolicy("", filepath.Join(dir, "missing.txt"), "u"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestViewEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Protect a small document with the library, then view it with the
+	// command's run function.
+	doc, err := xmlac.ParseDocumentString(
+		`<Hospital><Folder><Admin><Fname>alice</Fname></Admin><MedActs><Act><RPhys>DrA</RPhys></Act></MedActs></Folder></Hospital>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := xmlac.Protect(doc, xmlac.DeriveKey("pw"), xmlac.SchemeECBMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := filepath.Join(dir, "doc.xsec")
+	if err := os.WriteFile(protected, prot.Marshal(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "view.xml")
+	if err := run(protected, "pw", "secretary", "", "user", "", out, false, false); err != nil {
+		t.Fatal(err)
+	}
+	view, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(view), "alice") || strings.Contains(string(view), "DrA") {
+		t.Fatalf("unexpected view: %s", view)
+	}
+	// Wrong passphrase fails the integrity check.
+	if err := run(protected, "wrong", "secretary", "", "user", "", out, false, false); err == nil {
+		t.Fatal("wrong passphrase must fail")
+	}
+}

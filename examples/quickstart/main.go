@@ -1,0 +1,70 @@
+// Quickstart: protect a small XML document, then evaluate two different
+// access-control policies over the encrypted form and print the authorized
+// views.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlac"
+)
+
+const document = `
+<addressbook>
+  <contact>
+    <name>Alice Martin</name>
+    <phone>555-0100</phone>
+    <group>family</group>
+    <notes>allergic to penicillin</notes>
+  </contact>
+  <contact>
+    <name>Bob Durand</name>
+    <phone>555-0101</phone>
+    <group>work</group>
+    <notes>prefers email</notes>
+  </contact>
+</addressbook>`
+
+func main() {
+	doc, err := xmlac.ParseDocumentString(document)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The publisher encrypts the document once; the key would normally be
+	// provisioned to client devices through a secure channel.
+	key := xmlac.DeriveKey("a passphrase shared out of band")
+	protected, err := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protected document: %d bytes (encrypted, indexed, tamper-evident)\n\n", protected.Size())
+
+	// A family member sees everything except work contacts' notes.
+	family := xmlac.Policy{
+		Subject: "family-member",
+		Rules: []xmlac.Rule{
+			{Sign: "+", Object: "//contact"},
+			{Sign: "-", Object: "//contact[group=work]/notes"},
+		},
+	}
+	// A colleague only sees work contacts, without personal notes.
+	colleague := xmlac.Policy{
+		Subject: "colleague",
+		Rules: []xmlac.Rule{
+			{Sign: "+", Object: "//contact[group=work]"},
+			{Sign: "-", Object: "//notes"},
+		},
+	}
+
+	for _, p := range []xmlac.Policy{family, colleague} {
+		view, metrics, err := protected.AuthorizedView(key, p, xmlac.ViewOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- view for %s ---\n%s\n", p.Subject, view.IndentedXML())
+		fmt.Printf("(SOE transferred %d bytes, skipped %d bytes of prohibited data)\n\n",
+			metrics.BytesTransferred, metrics.BytesSkipped)
+	}
+}

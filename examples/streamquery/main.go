@@ -1,0 +1,56 @@
+// Stream query: the pull scenario of the paper. The client does not want the
+// whole authorized view but the answer to an XPath query; the query is
+// evaluated inside the secure environment together with the access-control
+// policy, so its predicates can only observe authorized data and the result
+// is exactly the intersection of the query scope with the authorized view.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlac"
+	"xmlac/internal/dataset"
+	"xmlac/internal/xmlstream"
+)
+
+func main() {
+	root := dataset.HospitalFolders(60, 7)
+	doc, err := xmlac.ParseDocumentString(xmlstream.SerializeTree(root, false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	key := xmlac.DeriveKey("hospital master key")
+	protected, err := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doctor := xmlac.DoctorPolicy("DrB")
+	queries := []string{
+		"//Folder[Admin/Age > 75]",
+		"//Folder[MedActs/Act/RPhys = DrB]/Admin",
+		"//Folder[Admin/Age > 120]", // matches nothing
+	}
+	for _, q := range queries {
+		view, metrics, err := protected.AuthorizedView(key, doctor, xmlac.ViewOptions{Query: q})
+		if err != nil {
+			log.Fatal(err)
+		}
+		size := len(view.XML())
+		fmt.Printf("query %-42s -> %6d B of result, %6d B transferred, %6d B skipped\n",
+			q, size, metrics.BytesTransferred, metrics.BytesSkipped)
+	}
+
+	// The same query issued by the secretary returns only what her own
+	// access rights allow: the medical predicate can never be satisfied from
+	// data she is not allowed to see.
+	secView, _, err := protected.AuthorizedView(key, xmlac.SecretaryPolicy(), xmlac.ViewOptions{
+		Query: "//Folder[MedActs/Act/RPhys = DrB]/Admin",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecretary issuing the medical query gets %d bytes (the predicate reads denied data)\n",
+		len(secView.XML()))
+}

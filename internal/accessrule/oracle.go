@@ -1,0 +1,243 @@
+package accessrule
+
+import (
+	"xmlac/internal/xmlstream"
+	"xmlac/internal/xpath"
+)
+
+// This file contains a non-streaming *reference implementation* of the
+// access-control semantics of section 2, evaluated over an in-memory
+// document. It plays two roles:
+//
+//   - ground truth for the tests of the streaming evaluator (internal/core),
+//     which must produce exactly the same authorized view;
+//   - the oracle used by the LWB (lower bound) strategy of the performance
+//     model (section 7): "the time required by an oracle to read only the
+//     authorized fragments of a document", which requires knowing the exact
+//     authorized byte set in advance.
+//
+// The SOE never runs this code: it would require materializing the document,
+// which the paper's memory constraint forbids.
+
+// nodeDecision is the tri-valued outcome for a node.
+type nodeDecision int
+
+const (
+	decisionDeny nodeDecision = iota
+	decisionPermit
+)
+
+// ViewOptions tunes the construction of the authorized view.
+type ViewOptions struct {
+	// DummyDeniedNames replaces the tag of denied ancestors kept by the
+	// structural rule with "_" (the paper allows replacing them "by a dummy
+	// value"). When false the original names are kept.
+	DummyDeniedNames bool
+	// Query restricts the view to the scope of a query expressed in the same
+	// fragment; nil means "deliver the whole authorized view".
+	Query *xpath.Path
+}
+
+// AuthorizedView computes the authorized view of the document for the policy
+// using the reference semantics. The returned tree contains:
+//   - every element whose conflict-resolved decision is Permit, with its text;
+//   - ancestors of permitted elements (structural rule) without their own
+//     text when they are themselves denied;
+//   - nothing else.
+//
+// A nil return value means the view is empty.
+func AuthorizedView(doc *xmlstream.Node, policy *Policy, opts ViewOptions) *xmlstream.Node {
+	if doc == nil {
+		return nil
+	}
+	match := matchRules(doc, policy)
+	view, _ := buildView(doc, policy, match, nil, nil, opts)
+	if view == nil || opts.Query == nil {
+		return view
+	}
+	// Per section 2, "the result of a query is computed from the authorized
+	// view of the queried document": the query is evaluated against the view
+	// itself (so its predicates cannot observe denied data), and the result
+	// keeps the matched subtrees plus the structural path to them.
+	return pruneToQuery(view, opts.Query)
+}
+
+// pruneToQuery restricts a view to the subtrees matched by the query plus
+// the ancestor structure leading to them. It returns nil when the query
+// matches nothing.
+func pruneToQuery(view *xmlstream.Node, query *xpath.Path) *xmlstream.Node {
+	scope := map[*xmlstream.Node]struct{}{}
+	for _, m := range xpath.Select(view, query) {
+		m.Walk(func(d *xmlstream.Node) bool {
+			scope[d] = struct{}{}
+			return true
+		})
+	}
+	if len(scope) == 0 {
+		return nil
+	}
+	var prune func(n *xmlstream.Node) *xmlstream.Node
+	prune = func(n *xmlstream.Node) *xmlstream.Node {
+		if _, ok := scope[n]; ok {
+			return n.Clone()
+		}
+		out := xmlstream.NewElement(n.Name)
+		keep := false
+		for _, c := range n.Children {
+			if c.Kind != xmlstream.ElementNode {
+				continue
+			}
+			if cv := prune(c); cv != nil {
+				out.Children = append(out.Children, cv)
+				keep = true
+			}
+		}
+		if !keep {
+			return nil
+		}
+		return out
+	}
+	return prune(view)
+}
+
+// Decide returns true when the conflict-resolved decision for the given
+// element node (which must belong to doc) is Permit.
+func Decide(doc *xmlstream.Node, policy *Policy, target *xmlstream.Node) bool {
+	match := matchRules(doc, policy)
+	var decideDown func(n *xmlstream.Node, stack []levelRules) (bool, bool)
+	decideDown = func(n *xmlstream.Node, stack []levelRules) (bool, bool) {
+		level := levelRules{}
+		for i, r := range policy.Rules {
+			if _, ok := match[i][n]; ok {
+				level.rules = append(level.rules, r)
+			}
+		}
+		newStack := stack
+		if len(level.rules) > 0 {
+			newStack = append(append([]levelRules{}, stack...), level)
+		}
+		if n == target {
+			return resolve(newStack) == decisionPermit, true
+		}
+		for _, c := range n.Children {
+			if c.Kind != xmlstream.ElementNode {
+				continue
+			}
+			if d, found := decideDown(c, newStack); found {
+				return d, true
+			}
+		}
+		return false, false
+	}
+	d, _ := decideDown(doc, nil)
+	return d
+}
+
+// levelRules groups the rules whose object matched directly at one
+// ancestor-or-self level, mirroring one level of the Authorization Stack.
+type levelRules struct {
+	rules []Rule
+}
+
+// matchRules evaluates every rule object over the document and returns, per
+// rule index, the set of elements it matches directly.
+func matchRules(doc *xmlstream.Node, policy *Policy) []map[*xmlstream.Node]struct{} {
+	out := make([]map[*xmlstream.Node]struct{}, len(policy.Rules))
+	for i, r := range policy.Rules {
+		set := map[*xmlstream.Node]struct{}{}
+		for _, n := range xpath.Select(doc, r.Object) {
+			set[n] = struct{}{}
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// resolve applies the conflict-resolution algorithm of Figure 4 (without
+// pending statuses, which cannot occur in the oracle since every predicate
+// is fully evaluated): starting from the most specific level, the first
+// level containing any rule decides; Denial-Takes-Precedence within a level;
+// the implicit bottom of the stack is a negative rule (closed policy).
+func resolve(stack []levelRules) nodeDecision {
+	for i := len(stack) - 1; i >= 0; i-- {
+		hasNeg, hasPos := false, false
+		for _, r := range stack[i].rules {
+			if r.Sign == Deny {
+				hasNeg = true
+			} else {
+				hasPos = true
+			}
+		}
+		if hasNeg {
+			return decisionDeny
+		}
+		if hasPos {
+			return decisionPermit
+		}
+	}
+	return decisionDeny
+}
+
+// buildView recursively constructs the authorized view. It returns the view
+// subtree (nil when nothing below n is delivered) and whether n itself is
+// permitted.
+func buildView(n *xmlstream.Node, policy *Policy, match []map[*xmlstream.Node]struct{},
+	stack []levelRules, queryScope map[*xmlstream.Node]struct{}, opts ViewOptions) (*xmlstream.Node, bool) {
+
+	level := levelRules{}
+	for i, r := range policy.Rules {
+		if _, ok := match[i][n]; ok {
+			level.rules = append(level.rules, r)
+		}
+	}
+	newStack := stack
+	if len(level.rules) > 0 {
+		newStack = append(append([]levelRules{}, stack...), level)
+	}
+	permitted := resolve(newStack) == decisionPermit
+	inQuery := queryScope == nil
+	if !inQuery {
+		_, inQuery = queryScope[n]
+	}
+
+	// Recurse on element children first: even when n is denied, a descendant
+	// may be permitted (most-specific-object) and then the structural rule
+	// forces n to appear (without its text). childViews is indexed like
+	// n.Children, with nil entries for text nodes and for element children
+	// delivering nothing.
+	childViews := make([]*xmlstream.Node, len(n.Children))
+	anyChild := false
+	for i, c := range n.Children {
+		if c.Kind != xmlstream.ElementNode {
+			continue
+		}
+		cv, _ := buildView(c, policy, match, newStack, queryScope, opts)
+		childViews[i] = cv
+		if cv != nil {
+			anyChild = true
+		}
+	}
+
+	deliverSelf := permitted && inQuery
+	if !deliverSelf && !anyChild {
+		return nil, permitted
+	}
+
+	name := n.Name
+	if !permitted && opts.DummyDeniedNames {
+		name = "_"
+	}
+	out := xmlstream.NewElement(name)
+	for i, c := range n.Children {
+		if c.Kind == xmlstream.TextNode {
+			if deliverSelf {
+				out.Children = append(out.Children, xmlstream.NewText(c.Value))
+			}
+			continue
+		}
+		if childViews[i] != nil {
+			out.Children = append(out.Children, childViews[i])
+		}
+	}
+	return out, permitted
+}

@@ -1,0 +1,278 @@
+package accessrule
+
+import (
+	"strings"
+	"testing"
+
+	"xmlac/internal/xmlstream"
+	"xmlac/internal/xpath"
+)
+
+// testHospital builds a small, fully deterministic instance of the Hospital
+// document of Figure 1 with two physicians and three folders.
+func testHospital() *xmlstream.Node {
+	folder := func(name, age, physician, cholesterol, protoType string) *xmlstream.Node {
+		f := xmlstream.NewElement("Folder",
+			xmlstream.NewElement("Admin",
+				xmlstream.Elem("Fname", name),
+				xmlstream.Elem("Age", age),
+			),
+		)
+		if protoType != "" {
+			f.Append(xmlstream.NewElement("Protocol",
+				xmlstream.Elem("Id", "p-"+name),
+				xmlstream.Elem("Type", protoType),
+			))
+		}
+		f.Append(
+			xmlstream.NewElement("MedActs",
+				xmlstream.NewElement("Act",
+					xmlstream.Elem("RPhys", physician),
+					xmlstream.NewElement("Details",
+						xmlstream.Elem("Diagnostic", "diag-"+name),
+						xmlstream.Elem("Comments", "comments-"+name),
+					),
+				),
+				xmlstream.NewElement("Act",
+					xmlstream.Elem("RPhys", "DrOther"),
+					xmlstream.NewElement("Details",
+						xmlstream.Elem("Diagnostic", "other-diag-"+name),
+					),
+				),
+			),
+			xmlstream.NewElement("Analysis",
+				xmlstream.NewElement("LabResults",
+					xmlstream.NewElement("G3",
+						xmlstream.Elem("Cholesterol", cholesterol),
+						xmlstream.Elem("RPhys", physician),
+					),
+				),
+			),
+		)
+		return f
+	}
+	return xmlstream.NewElement("Hospital",
+		folder("alice", "52", "DrA", "200", "G3"),
+		folder("bob", "31", "DrB", "280", "G3"),
+		folder("carol", "64", "DrA", "300", ""),
+	)
+}
+
+func viewString(v *xmlstream.Node) string {
+	if v == nil {
+		return ""
+	}
+	return xmlstream.SerializeTree(v, false)
+}
+
+func TestSecretaryView(t *testing.T) {
+	doc := testHospital()
+	view := AuthorizedView(doc, SecretaryPolicy(), ViewOptions{})
+	if view == nil {
+		t.Fatal("secretary view is empty")
+	}
+	s := viewString(view)
+	// All three Admin subtrees are visible, nothing medical is.
+	if c := strings.Count(s, "<Admin>"); c != 3 {
+		t.Fatalf("expected 3 Admin elements, got %d in %s", c, s)
+	}
+	for _, forbidden := range []string{"Diagnostic", "Cholesterol", "MedActs", "Protocol"} {
+		if strings.Contains(s, forbidden) {
+			t.Errorf("secretary view leaks %s: %s", forbidden, s)
+		}
+	}
+	// Structural rule: the Hospital and Folder ancestors are present.
+	if !strings.Contains(s, "<Hospital>") || strings.Count(s, "<Folder>") != 3 {
+		t.Errorf("structural path missing: %s", s)
+	}
+	// Denied ancestors must not expose their text (folders have no direct
+	// text here, but Hospital/Folder contain no text either way).
+	if strings.Contains(s, "diag-") {
+		t.Errorf("denied text leaked: %s", s)
+	}
+}
+
+func TestDoctorView(t *testing.T) {
+	doc := testHospital()
+	view := AuthorizedView(doc, DoctorPolicy("DrA"), ViewOptions{})
+	s := viewString(view)
+	// DrA treats alice and carol: their MedActs are visible.
+	if !strings.Contains(s, "diag-alice") || !strings.Contains(s, "diag-carol") {
+		t.Errorf("doctor view misses own acts: %s", s)
+	}
+	// Bob is DrB's patient: his MedActs must not be delivered.
+	if strings.Contains(s, "diag-bob") || strings.Contains(s, "other-diag-bob") {
+		t.Errorf("doctor view leaks another physician's folder: %s", s)
+	}
+	// Rule D3: details of acts NOT carried out by DrA are denied even inside
+	// an authorized MedActs subtree.
+	if strings.Contains(s, "other-diag-alice") || strings.Contains(s, "other-diag-carol") {
+		t.Errorf("D3 violated, foreign act details leaked: %s", s)
+	}
+	// The foreign Act element itself (without Details) remains visible
+	// inside an authorized MedActs (most-specific-object only denies the
+	// Details subtree).
+	if strings.Count(s, "<Act>") < 3 {
+		t.Errorf("expected the acts of authorized folders to remain: %s", s)
+	}
+	// D1: Admin of every folder is visible, including bob's.
+	if strings.Count(s, "<Admin>") != 3 {
+		t.Errorf("D1 should expose all Admin subtrees: %s", s)
+	}
+	// D4: Analysis of her patients visible.
+	if !strings.Contains(s, "<Analysis>") {
+		t.Errorf("D4 missing analysis: %s", s)
+	}
+}
+
+func TestResearcherView(t *testing.T) {
+	doc := testHospital()
+	view := AuthorizedView(doc, ResearcherPolicy("G3"), ViewOptions{})
+	s := viewString(view)
+	// Folders with a protocol: alice (chol 200, allowed) and bob (chol 280,
+	// denied by R3).
+	if !strings.Contains(s, "<Age>52</Age>") {
+		t.Errorf("R1 should expose alice's age: %s", s)
+	}
+	if !strings.Contains(s, "200") {
+		t.Errorf("alice's G3 lab results should be visible: %s", s)
+	}
+	if strings.Contains(s, "280") {
+		t.Errorf("R3 must deny bob's G3 subtree (cholesterol 280 > 250): %s", s)
+	}
+	if !strings.Contains(s, "<Age>31</Age>") {
+		t.Errorf("bob's age is still granted by R1: %s", s)
+	}
+	// carol has no protocol: nothing of hers is delivered (age 64 absent).
+	if strings.Contains(s, "64") || strings.Contains(s, "300") {
+		t.Errorf("carol must be invisible to the researcher: %s", s)
+	}
+	// Administrative and medical details never visible.
+	for _, forbidden := range []string{"Fname", "Diagnostic"} {
+		if strings.Contains(s, forbidden) {
+			t.Errorf("researcher view leaks %s: %s", forbidden, s)
+		}
+	}
+}
+
+func TestClosedPolicyEmptyView(t *testing.T) {
+	doc := testHospital()
+	view := AuthorizedView(doc, NewPolicy("nobody"), ViewOptions{})
+	if view != nil {
+		t.Fatalf("closed policy must yield an empty view, got %s", viewString(view))
+	}
+}
+
+func TestDenialTakesPrecedence(t *testing.T) {
+	doc, err := xmlstream.ParseTreeString(`<a><b><c>secret</c></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPolicy("u",
+		MustRule("P", "+", "//c"),
+		MustRule("N", "-", "//c"),
+	)
+	view := AuthorizedView(doc, p, ViewOptions{})
+	if view != nil && strings.Contains(viewString(view), "secret") {
+		t.Fatalf("denial must take precedence over permission on the same object: %s", viewString(view))
+	}
+}
+
+func TestMostSpecificObjectTakesPrecedence(t *testing.T) {
+	doc, err := xmlstream.ParseTreeString(`<a><b><c>deep</c><d>kept</d></b><e>denied</e></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deny the whole document, permit //b: b's subtree is visible because
+	// the rule on b is more specific than the rule on a.
+	p := NewPolicy("u",
+		MustRule("N", "-", "/a"),
+		MustRule("P", "+", "//b"),
+	)
+	s := viewString(AuthorizedView(doc, p, ViewOptions{}))
+	if !strings.Contains(s, "deep") || !strings.Contains(s, "kept") {
+		t.Fatalf("most-specific positive rule should win inside b: %s", s)
+	}
+	if strings.Contains(s, "denied") {
+		t.Fatalf("e is still denied by the outer rule: %s", s)
+	}
+	// Now the reverse nesting: permit the document, deny //b.
+	p2 := NewPolicy("u",
+		MustRule("P", "+", "/a"),
+		MustRule("N", "-", "//b"),
+	)
+	s2 := viewString(AuthorizedView(doc, p2, ViewOptions{}))
+	if strings.Contains(s2, "deep") || strings.Contains(s2, "kept") {
+		t.Fatalf("inner deny must win: %s", s2)
+	}
+	if !strings.Contains(s2, "denied") {
+		t.Fatalf("e is permitted by the outer rule: %s", s2)
+	}
+}
+
+func TestStructuralRuleDummyNames(t *testing.T) {
+	doc, err := xmlstream.ParseTreeString(`<root><secretparent><x>v</x></secretparent></root>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPolicy("u", MustRule("P", "+", "//x"))
+	s := viewString(AuthorizedView(doc, p, ViewOptions{DummyDeniedNames: true}))
+	if strings.Contains(s, "secretparent") {
+		t.Fatalf("denied ancestor name should be dummied: %s", s)
+	}
+	if !strings.Contains(s, "<x>v</x>") {
+		t.Fatalf("authorized leaf missing: %s", s)
+	}
+	if strings.Count(s, "<_>") != 2 {
+		t.Fatalf("expected two dummied ancestors: %s", s)
+	}
+}
+
+func TestDecide(t *testing.T) {
+	doc := testHospital()
+	p := DoctorPolicy("DrA")
+	adminAlice := doc.Children[0].Child("Admin")
+	if !Decide(doc, p, adminAlice) {
+		t.Fatal("admin of alice should be permitted for DrA")
+	}
+	detailsForeign := doc.Children[0].Child("MedActs").Children[1].Child("Details")
+	if Decide(doc, p, detailsForeign) {
+		t.Fatal("details of a foreign act must be denied (rule D3)")
+	}
+	if Decide(doc, NewPolicy("nobody"), adminAlice) {
+		t.Fatal("closed policy denies everything")
+	}
+}
+
+func TestAuthorizedViewWithQuery(t *testing.T) {
+	doc := testHospital()
+	// Doctor DrA queries folders of patients older than 50.
+	q := xpath.MustParse("//Folder[Admin/Age > 50]")
+	view := AuthorizedView(doc, DoctorPolicy("DrA"), ViewOptions{Query: q})
+	s := viewString(view)
+	if !strings.Contains(s, "diag-alice") || !strings.Contains(s, "diag-carol") {
+		t.Errorf("query view should keep alice and carol folders: %s", s)
+	}
+	if strings.Contains(s, "<Age>31</Age>") {
+		t.Errorf("bob (31) must be filtered out by the query: %s", s)
+	}
+	// A query whose predicate relies on denied data returns nothing for the
+	// secretary even though the data exists in the document: the predicate
+	// is evaluated on the authorized view.
+	q2 := xpath.MustParse("//Folder[MedActs/Act/RPhys = DrA]")
+	view2 := AuthorizedView(doc, SecretaryPolicy(), ViewOptions{Query: q2})
+	if view2 != nil {
+		t.Errorf("secretary cannot filter on denied RPhys data: %s", viewString(view2))
+	}
+	// Empty query result.
+	q3 := xpath.MustParse("//Folder[Admin/Age > 1000]")
+	if v := AuthorizedView(doc, DoctorPolicy("DrA"), ViewOptions{Query: q3}); v != nil {
+		t.Errorf("expected empty query view, got %s", viewString(v))
+	}
+}
+
+func TestAuthorizedViewNilDocument(t *testing.T) {
+	if AuthorizedView(nil, SecretaryPolicy(), ViewOptions{}) != nil {
+		t.Fatal("nil document should produce nil view")
+	}
+}

@@ -1,0 +1,97 @@
+package accessrule
+
+import "fmt"
+
+// Built-in policies of the motivating example (Figure 1 of the paper),
+// expressed on the Hospital document. They are used by the examples, the
+// experiment harness (Figures 9-11) and the tests.
+
+// SecretaryPolicy returns the secretary profile: access to the patients'
+// administrative sub-folders only.
+//
+//	S1: +, //Admin
+func SecretaryPolicy() *Policy {
+	return NewPolicy("secretary",
+		MustRule("S1", "+", "//Admin"),
+	)
+}
+
+// DoctorPolicy returns the doctor profile for the given physician
+// identifier: administrative sub-folders, all medical acts and analysis of
+// her patients, except the details of acts she did not carry out herself.
+//
+//	D1: +, //Folder/Admin
+//	D2: +, //MedActs[//RPhys = USER]
+//	D3: -, //Act[RPhys != USER]/Details
+//	D4: +, //Folder[MedActs//RPhys = USER]/Analysis
+func DoctorPolicy(physician string) *Policy {
+	return NewPolicy(physician,
+		MustRule("D1", "+", "//Folder/Admin"),
+		MustRule("D2", "+", "//MedActs[//RPhys = USER]"),
+		MustRule("D3", "-", "//Act[RPhys != USER]/Details"),
+		MustRule("D4", "+", "//Folder[MedActs//RPhys = USER]/Analysis"),
+	)
+}
+
+// ResearcherPolicy returns the researcher profile: the laboratory results
+// and the age of patients who subscribed to a protocol test of the given
+// groups, provided the Cholesterol measurement does not exceed 250 mg/dL.
+// The paper uses groups G1..G10; rules R2 and R3 are instantiated once per
+// group ("Rules 2 & 3 occur for each of the 10 groups"), and Figure 9
+// evaluates the researcher with 10 protocols to stress the evaluator.
+//
+//	R1:  +, //Folder[Protocol]//Age
+//	R2g: +, //Folder[Protocol/Type=Gg]//LabResults//Gg
+//	R3g: -, //Gg[Cholesterol > 250]
+func ResearcherPolicy(groups ...string) *Policy {
+	if len(groups) == 0 {
+		groups = []string{"G3"}
+	}
+	p := NewPolicy("researcher",
+		MustRule("R1", "+", "//Folder[Protocol]//Age"),
+	)
+	for i, g := range groups {
+		p.Add(MustRule(fmt.Sprintf("R2.%d", i+1), "+",
+			fmt.Sprintf("//Folder[Protocol/Type=%s]//LabResults//%s", g, g)))
+		p.Add(MustRule(fmt.Sprintf("R3.%d", i+1), "-",
+			fmt.Sprintf("//%s[Cholesterol > 250]", g)))
+	}
+	return p
+}
+
+// ResearcherGroups returns the protocol group names G1..Gn used by the
+// researcher policy variants of the experiments.
+func ResearcherGroups(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("G%d", i+1)
+	}
+	return out
+}
+
+// AbstractPolicyRS returns the two-rule policy of Figure 3 of the paper,
+// expressed on the abstract document {a,b,c,d}:
+//
+//	R: +, //b[c]/d
+//	S: -, //c
+func AbstractPolicyRS() *Policy {
+	return NewPolicy("abstract",
+		MustRule("R", "+", "//b[c]/d"),
+		MustRule("S", "-", "//c"),
+	)
+}
+
+// AbstractPolicyFigure7 returns the four-rule policy of Figure 7:
+//
+//	R: +, /a[d = 4]/c
+//	S: -, //c/e[m=3]
+//	T: +, //c[//i = 3]//f
+//	U: +, //h[k = 2]
+func AbstractPolicyFigure7() *Policy {
+	return NewPolicy("figure7",
+		MustRule("R", "+", "/a[d = 4]/c"),
+		MustRule("S", "-", "//c/e[m=3]"),
+		MustRule("T", "+", "//c[//i = 3]//f"),
+		MustRule("U", "+", "//h[k = 2]"),
+	)
+}

@@ -1,0 +1,152 @@
+package accessrule
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xmlac/internal/xpath"
+)
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("D1", "+", "//Folder/Admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sign != Permit || r.Object.String() != "//Folder/Admin" {
+		t.Fatalf("unexpected rule %+v", r)
+	}
+	r, err = ParseRule("D3", "deny", "//Act[RPhys != USER]/Details")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sign != Deny {
+		t.Fatal("expected Deny")
+	}
+	if _, err := ParseRule("X", "?", "//a"); !errors.Is(err, ErrInvalidRule) {
+		t.Fatalf("expected ErrInvalidRule for bad sign, got %v", err)
+	}
+	if _, err := ParseRule("X", "+", "not-a-path"); !errors.Is(err, ErrInvalidRule) {
+		t.Fatalf("expected ErrInvalidRule for bad path, got %v", err)
+	}
+	if got := r.String(); !strings.Contains(got, "D3") || !strings.Contains(got, "-") {
+		t.Fatalf("rule String() = %q", got)
+	}
+}
+
+func TestPolicyAddBindsUser(t *testing.T) {
+	p := NewPolicy("DrHouse", MustRule("D2", "+", "//MedActs[//RPhys = USER]"))
+	if len(p.Rules) != 1 {
+		t.Fatal("rule not added")
+	}
+	if !strings.Contains(p.Rules[0].Object.String(), "DrHouse") {
+		t.Fatalf("USER not bound: %s", p.Rules[0].Object)
+	}
+	// Auto ID assignment.
+	p.Add(Rule{Sign: Deny, Object: xpath.MustParse("//x")})
+	if p.Rules[1].ID == "" {
+		t.Fatal("ID not assigned")
+	}
+	if !strings.Contains(p.String(), "DrHouse") {
+		t.Fatal("policy String missing subject")
+	}
+}
+
+func TestPolicyAccessors(t *testing.T) {
+	p := DoctorPolicy("DrA")
+	if len(p.PositiveRules()) != 3 || len(p.NegativeRules()) != 1 {
+		t.Fatalf("doctor policy split = %d/%d", len(p.PositiveRules()), len(p.NegativeRules()))
+	}
+	labels := p.Labels()
+	for _, want := range []string{"Folder", "Admin", "MedActs", "RPhys", "Act", "Details", "Analysis"} {
+		if _, ok := labels[want]; !ok {
+			t.Errorf("missing label %s", want)
+		}
+	}
+	clone := p.Clone()
+	if clone.String() != p.String() {
+		t.Fatal("clone mismatch")
+	}
+	clone.Rules[0].Object = xpath.MustParse("//Changed")
+	if clone.String() == p.String() {
+		t.Fatal("clone shares rule objects with original")
+	}
+}
+
+func TestBuiltinPolicies(t *testing.T) {
+	if len(SecretaryPolicy().Rules) != 1 {
+		t.Fatal("secretary policy should have one rule")
+	}
+	r := ResearcherPolicy(ResearcherGroups(10)...)
+	if len(r.Rules) != 1+2*10 {
+		t.Fatalf("researcher policy with 10 groups has %d rules, want 21", len(r.Rules))
+	}
+	if len(ResearcherPolicy().Rules) != 3 {
+		t.Fatal("default researcher policy should have 3 rules")
+	}
+	if len(AbstractPolicyRS().Rules) != 2 || len(AbstractPolicyFigure7().Rules) != 4 {
+		t.Fatal("abstract policies wrong size")
+	}
+	if got := ResearcherGroups(3); len(got) != 3 || got[2] != "G3" {
+		t.Fatalf("ResearcherGroups = %v", got)
+	}
+}
+
+func TestSignString(t *testing.T) {
+	if Permit.String() != "+" || Deny.String() != "-" {
+		t.Fatal("sign strings")
+	}
+}
+
+func TestMinimizeRedundantRule(t *testing.T) {
+	// //Folder/Admin is contained in //Admin; same sign, no negative rule
+	// inside the container, so it can be dropped.
+	p := NewPolicy("u",
+		MustRule("A", "+", "//Admin"),
+		MustRule("B", "+", "//Folder/Admin"),
+	)
+	min, removed := p.Minimize()
+	if len(min.Rules) != 1 || len(removed) != 1 || removed[0] != "B" {
+		t.Fatalf("Minimize removed %v, kept %d rules", removed, len(min.Rules))
+	}
+	// The original is untouched.
+	if len(p.Rules) != 2 {
+		t.Fatal("Minimize mutated the original policy")
+	}
+}
+
+func TestMinimizeBlockedByOppositeSign(t *testing.T) {
+	// A negative rule nested inside the container must prevent the
+	// elimination (conservative version of the paper's condition).
+	p := NewPolicy("u",
+		MustRule("R", "+", "//a"),
+		MustRule("S", "+", "//a/b"),
+		MustRule("T", "-", "//a/b/c"),
+	)
+	min, removed := p.Minimize()
+	if len(removed) != 0 || len(min.Rules) != 3 {
+		t.Fatalf("Minimize should not remove anything, removed %v", removed)
+	}
+}
+
+func TestMinimizeEquivalentRulesKeepsOne(t *testing.T) {
+	p := NewPolicy("u",
+		MustRule("A", "+", "//x"),
+		MustRule("B", "+", "//x"),
+	)
+	min, removed := p.Minimize()
+	if len(min.Rules) != 1 || len(removed) != 1 || removed[0] != "B" {
+		t.Fatalf("expected the later duplicate to be removed, got removed=%v", removed)
+	}
+}
+
+func TestMinimizeDifferentSignsUntouched(t *testing.T) {
+	p := NewPolicy("u",
+		MustRule("A", "+", "//a"),
+		MustRule("B", "-", "//a/b"),
+	)
+	_, removed := p.Minimize()
+	if len(removed) != 0 {
+		t.Fatalf("opposite-sign rules must never eliminate each other: %v", removed)
+	}
+}

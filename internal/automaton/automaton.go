@@ -1,0 +1,251 @@
+// Package automaton builds and represents the Access Rules Automata (ARA) of
+// section 3.1 of the paper: one non-deterministic finite automaton per
+// access-control rule (and per query), made of a navigational path and zero
+// or more predicate paths. The descendant axis (//) is modelled by a
+// self-transition matched by any open event; wildcards match any element
+// name.
+//
+// The streaming evaluator (internal/core) drives these automata with token
+// proxies; this package provides the static structure (states, transitions,
+// anchored predicates, remaining-label sets) and the token type.
+package automaton
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlac/internal/xpath"
+)
+
+// PathID identifies one path of an ARA: the navigational path or one of the
+// predicate paths.
+type PathID struct {
+	// Predicate is -1 for the navigational path, otherwise the index of the
+	// predicate path in ARA.Predicates.
+	Predicate int
+}
+
+// NavPath is the PathID of the navigational path.
+var NavPath = PathID{Predicate: -1}
+
+// IsNav reports whether the PathID designates the navigational path.
+func (p PathID) IsNav() bool { return p.Predicate < 0 }
+
+// Comparison is the value test attached to the final state of a predicate
+// path ([m=3], [Cholesterol > 250], ...). A nil Comparison means a bare
+// existence predicate ([Protocol]).
+type Comparison struct {
+	Op    xpath.CompareOp
+	Value xpath.Literal
+}
+
+// Evaluate applies the comparison to a text value.
+func (c *Comparison) Evaluate(text string) bool {
+	if c == nil {
+		return true
+	}
+	return xpath.CompareText(text, c.Op, c.Value)
+}
+
+// linearPath is the common shape of navigational and predicate paths: a
+// linear sequence of states 0..len(Steps); state i moves to state i+1 on an
+// open event whose name matches Steps[i].Name ('*' matches anything), and
+// state i carries a descendant self-loop when Steps[i].Axis is '//'. State
+// len(Steps) is final.
+type linearPath struct {
+	steps []xpath.Step
+	// remaining[i] is the set of non-wildcard labels appearing in
+	// steps[i:]; used by the Skip-index RemainingLabels test (section 4.2).
+	remaining []map[string]struct{}
+	// wildcardTail[i] is true when every step in steps[i:] is a wildcard,
+	// in which case the Skip index can never rule the path out.
+	wildcardTail []bool
+}
+
+func newLinearPath(steps []xpath.Step) linearPath {
+	lp := linearPath{steps: steps}
+	lp.remaining = make([]map[string]struct{}, len(steps)+1)
+	lp.wildcardTail = make([]bool, len(steps)+1)
+	lp.remaining[len(steps)] = map[string]struct{}{}
+	lp.wildcardTail[len(steps)] = true
+	for i := len(steps) - 1; i >= 0; i-- {
+		set := map[string]struct{}{}
+		for l := range lp.remaining[i+1] {
+			set[l] = struct{}{}
+		}
+		wild := lp.wildcardTail[i+1]
+		if steps[i].IsWildcard() {
+			// wildcard adds no label requirement
+		} else {
+			set[steps[i].Name] = struct{}{}
+			wild = false
+		}
+		lp.remaining[i] = set
+		lp.wildcardTail[i] = wild && steps[i].IsWildcard()
+	}
+	return lp
+}
+
+// FinalState returns the index of the final state.
+func (lp linearPath) FinalState() int { return len(lp.steps) }
+
+// IsFinal reports whether state is the final state.
+func (lp linearPath) IsFinal(state int) bool { return state == len(lp.steps) }
+
+// HasDescendantLoop reports whether the given state carries a '*'
+// self-transition (the next step uses the descendant axis).
+func (lp linearPath) HasDescendantLoop(state int) bool {
+	return state < len(lp.steps) && lp.steps[state].Axis == xpath.Descendant
+}
+
+// Accepts reports whether the transition out of the given state matches the
+// element name.
+func (lp linearPath) Accepts(state int, name string) bool {
+	return state < len(lp.steps) && lp.steps[state].Matches(name)
+}
+
+// RemainingLabels returns the labels that must still be encountered below
+// the current position for a token in the given state to reach the final
+// state. The boolean is false when the remaining steps are all wildcards
+// (no label constraint).
+func (lp linearPath) RemainingLabels(state int) (map[string]struct{}, bool) {
+	if state >= len(lp.steps) {
+		return nil, false
+	}
+	set := lp.remaining[state]
+	if len(set) == 0 {
+		// Remaining steps are all wildcards: the Skip index cannot rule the
+		// path out.
+		return nil, false
+	}
+	return set, true
+}
+
+// PredicatePath is one predicate path of an ARA.
+type PredicatePath struct {
+	linearPath
+	// AnchorState is the navigational state at which the predicate is
+	// instantiated: when a navigational token reaches AnchorState by
+	// matching element e, a predicate token is spawned with e as its
+	// context.
+	AnchorState int
+	// Compare is the optional value test of the final state.
+	Compare *Comparison
+	// Source is the original predicate AST (for diagnostics).
+	Source *xpath.Predicate
+}
+
+// ARA is the automaton of one rule or query.
+type ARA struct {
+	// Name is a diagnostic label (the rule ID or "query").
+	Name string
+	// Nav is the navigational path (the rule object with predicates
+	// stripped).
+	Nav linearPath
+	// Predicates are the predicate paths, in order of appearance.
+	Predicates []*PredicatePath
+	// Source is the full path expression.
+	Source *xpath.Path
+}
+
+// Compile builds the ARA of a path expression.
+func Compile(name string, path *xpath.Path) *ARA {
+	a := &ARA{Name: name, Source: path, Nav: newLinearPath(path.StripPredicates().Steps)}
+	for i, step := range path.Steps {
+		for _, pred := range step.Predicates {
+			pp := &PredicatePath{
+				linearPath:  newLinearPath(pred.Path.Steps),
+				AnchorState: i + 1, // state reached after matching step i
+				Source:      pred,
+			}
+			if pred.Op != xpath.OpExists {
+				pp.Compare = &Comparison{Op: pred.Op, Value: pred.Value}
+			}
+			a.Predicates = append(a.Predicates, pp)
+		}
+	}
+	return a
+}
+
+// HasPredicates reports whether the ARA carries at least one predicate path.
+func (a *ARA) HasPredicates() bool { return len(a.Predicates) > 0 }
+
+// PredicatesAnchoredAt returns the indexes of the predicate paths anchored
+// at the given navigational state.
+func (a *ARA) PredicatesAnchoredAt(state int) []int {
+	var out []int
+	for i, p := range a.Predicates {
+		if p.AnchorState == state {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Path returns the linearPath for a PathID.
+func (a *ARA) Path(id PathID) linearPath {
+	if id.IsNav() {
+		return a.Nav
+	}
+	return a.Predicates[id.Predicate].linearPath
+}
+
+// String renders a compact description of the automaton for traces.
+func (a *ARA) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ARA(%s: %s, nav states 0..%d", a.Name, a.Source, a.Nav.FinalState())
+	for i, p := range a.Predicates {
+		fmt.Fprintf(&sb, ", pred%d@state%d states 0..%d", i, p.AnchorState, p.FinalState())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Token is a token proxy progressing through one path of one ARA (section
+// 3.1: "we actually create a token proxy each time a transition is
+// triggered"). Tokens are value types; triggering a transition creates a new
+// token (the Anchors slice, when present, is copied on extension).
+//
+// The paper labels proxies with the depth at which the original predicate
+// token was created so that navigational and predicate tokens of the same
+// rule instance can be related. We use the *serial number* of the anchoring
+// element instead of its depth: serials are unambiguous even across sibling
+// elements encountered at the same depth, which removes a subtle source of
+// instance confusion.
+type Token struct {
+	// Rule is the index of the rule in the evaluator's rule table (the query
+	// uses a dedicated index).
+	Rule int
+	// Path designates the navigational path or a predicate path.
+	Path PathID
+	// State is the current state in that path.
+	State int
+	// Instance is, for predicate tokens, the serial number of the element
+	// that anchored the predicate instance this token belongs to.
+	Instance uint64
+	// Anchors is, for navigational tokens of rules carrying predicates, the
+	// serial number of the anchoring element for each predicate index along
+	// this token's trajectory (0 when the anchor state has not been reached
+	// yet on this trajectory).
+	Anchors []uint64
+}
+
+// WithAnchor returns a copy of the token whose Anchors slice records the
+// given anchor serial for predicate index pred. The receiver is not
+// modified.
+func (t Token) WithAnchor(pred int, serial uint64, totalPreds int) Token {
+	anchors := make([]uint64, totalPreds)
+	copy(anchors, t.Anchors)
+	anchors[pred] = serial
+	t.Anchors = anchors
+	return t
+}
+
+// String renders the token like the paper's figures (e.g. Rn2#7).
+func (t Token) String() string {
+	kind := "n"
+	if !t.Path.IsNav() {
+		kind = fmt.Sprintf("p%d", t.Path.Predicate)
+	}
+	return fmt.Sprintf("r%d%s%d#%d", t.Rule, kind, t.State, t.Instance)
+}

@@ -1,0 +1,188 @@
+package automaton
+
+import (
+	"strings"
+	"testing"
+
+	"xmlac/internal/xpath"
+)
+
+func TestCompileNavigationalOnly(t *testing.T) {
+	a := Compile("S", xpath.MustParse("//c"))
+	if a.HasPredicates() {
+		t.Fatal("//c has no predicates")
+	}
+	if a.Nav.FinalState() != 1 {
+		t.Fatalf("final state = %d, want 1", a.Nav.FinalState())
+	}
+	if !a.Nav.HasDescendantLoop(0) {
+		t.Fatal("state 0 should carry the // self-loop")
+	}
+	if !a.Nav.Accepts(0, "c") || a.Nav.Accepts(0, "x") {
+		t.Fatal("transition matching incorrect")
+	}
+	if !a.Nav.IsFinal(1) || a.Nav.IsFinal(0) {
+		t.Fatal("final state detection incorrect")
+	}
+}
+
+func TestCompileRuleR(t *testing.T) {
+	// R: //b[c]/d  (Figure 3 of the paper)
+	a := Compile("R", xpath.MustParse("//b[c]/d"))
+	if a.Nav.FinalState() != 2 {
+		t.Fatalf("nav final = %d, want 2", a.Nav.FinalState())
+	}
+	if !a.Nav.HasDescendantLoop(0) || a.Nav.HasDescendantLoop(1) {
+		t.Fatal("descendant loops misplaced")
+	}
+	if len(a.Predicates) != 1 {
+		t.Fatalf("expected 1 predicate path, got %d", len(a.Predicates))
+	}
+	p := a.Predicates[0]
+	if p.AnchorState != 1 {
+		t.Fatalf("predicate anchored at state %d, want 1 (after matching b)", p.AnchorState)
+	}
+	if p.FinalState() != 1 || !p.Accepts(0, "c") {
+		t.Fatal("predicate path structure incorrect")
+	}
+	if p.Compare != nil {
+		t.Fatal("existence predicate should have nil comparison")
+	}
+	if got := a.PredicatesAnchoredAt(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("PredicatesAnchoredAt(1) = %v", got)
+	}
+	if got := a.PredicatesAnchoredAt(2); len(got) != 0 {
+		t.Fatalf("PredicatesAnchoredAt(2) = %v", got)
+	}
+	if !strings.Contains(a.String(), "R") {
+		t.Fatal("String should mention the rule name")
+	}
+}
+
+func TestCompileComparisonPredicate(t *testing.T) {
+	a := Compile("R3", xpath.MustParse("//G3[Cholesterol > 250]"))
+	p := a.Predicates[0]
+	if p.Compare == nil || p.Compare.Op != xpath.OpGt {
+		t.Fatalf("comparison missing: %+v", p.Compare)
+	}
+	if !p.Compare.Evaluate("270") || p.Compare.Evaluate("200") {
+		t.Fatal("comparison evaluation incorrect")
+	}
+	var nilCmp *Comparison
+	if !nilCmp.Evaluate("anything") {
+		t.Fatal("nil comparison is an existence test and always true")
+	}
+}
+
+func TestCompileDeepPredicatePath(t *testing.T) {
+	// D4: //Folder[MedActs//RPhys = USER]/Analysis
+	a := Compile("D4", xpath.MustParse("//Folder[MedActs//RPhys = DrA]/Analysis"))
+	p := a.Predicates[0]
+	if p.FinalState() != 2 {
+		t.Fatalf("predicate path final = %d, want 2", p.FinalState())
+	}
+	if !p.Accepts(0, "MedActs") || p.HasDescendantLoop(0) {
+		t.Fatal("first predicate step should be child::MedActs")
+	}
+	if !p.HasDescendantLoop(1) || !p.Accepts(1, "RPhys") {
+		t.Fatal("second predicate step should be descendant::RPhys")
+	}
+}
+
+func TestRemainingLabels(t *testing.T) {
+	a := Compile("R2", xpath.MustParse("//Folder//LabResults//G3"))
+	labels, constrained := a.Nav.RemainingLabels(0)
+	if !constrained {
+		t.Fatal("path has label constraints")
+	}
+	for _, want := range []string{"Folder", "LabResults", "G3"} {
+		if _, ok := labels[want]; !ok {
+			t.Errorf("missing %s at state 0: %v", want, labels)
+		}
+	}
+	labels, _ = a.Nav.RemainingLabels(1)
+	if _, ok := labels["Folder"]; ok {
+		t.Error("Folder already matched, should not remain at state 1")
+	}
+	if _, ok := labels["G3"]; !ok {
+		t.Error("G3 must remain at state 1")
+	}
+	if _, constrained := a.Nav.RemainingLabels(3); constrained {
+		t.Error("final state has no remaining labels")
+	}
+}
+
+func TestRemainingLabelsWildcardTail(t *testing.T) {
+	a := Compile("W", xpath.MustParse("//a/*"))
+	if _, constrained := a.Nav.RemainingLabels(1); constrained {
+		t.Fatal("wildcard-only tail must report no constraint")
+	}
+	if _, constrained := a.Nav.RemainingLabels(0); !constrained {
+		t.Fatal("state 0 still requires label a")
+	}
+}
+
+func TestWildcardTransition(t *testing.T) {
+	a := Compile("W", xpath.MustParse("/a/*/c"))
+	if !a.Nav.Accepts(1, "anything") {
+		t.Fatal("wildcard step must accept any name")
+	}
+	if a.Nav.HasDescendantLoop(1) {
+		t.Fatal("child axis should not produce a self-loop")
+	}
+}
+
+func TestPathID(t *testing.T) {
+	if !NavPath.IsNav() {
+		t.Fatal("NavPath must be navigational")
+	}
+	if (PathID{Predicate: 0}).IsNav() {
+		t.Fatal("predicate 0 is not navigational")
+	}
+	a := Compile("R", xpath.MustParse("//b[c]/d"))
+	if a.Path(NavPath).FinalState() != 2 {
+		t.Fatal("Path(NavPath) wrong")
+	}
+	if a.Path(PathID{Predicate: 0}).FinalState() != 1 {
+		t.Fatal("Path(pred 0) wrong")
+	}
+}
+
+func TestTokenWithAnchorImmutability(t *testing.T) {
+	tok := Token{Rule: 1, Path: NavPath, State: 1}
+	tok2 := tok.WithAnchor(1, 42, 3)
+	if len(tok.Anchors) != 0 {
+		t.Fatal("original token mutated")
+	}
+	if len(tok2.Anchors) != 3 || tok2.Anchors[1] != 42 {
+		t.Fatalf("anchors = %v", tok2.Anchors)
+	}
+	tok3 := tok2.WithAnchor(2, 7, 3)
+	if tok2.Anchors[2] != 0 || tok3.Anchors[2] != 7 || tok3.Anchors[1] != 42 {
+		t.Fatal("WithAnchor must copy-on-write")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Rule: 2, Path: PathID{Predicate: 1}, State: 3, Instance: 9}
+	if s := tok.String(); !strings.Contains(s, "p1") || !strings.Contains(s, "#9") {
+		t.Fatalf("token string = %q", s)
+	}
+	nav := Token{Rule: 0, Path: NavPath, State: 1}
+	if s := nav.String(); !strings.Contains(s, "n1") {
+		t.Fatalf("nav token string = %q", s)
+	}
+}
+
+func TestMultiplePredicatesAnchors(t *testing.T) {
+	a := Compile("M", xpath.MustParse("//a[x]/b[y=2][z]/c"))
+	if len(a.Predicates) != 3 {
+		t.Fatalf("expected 3 predicate paths, got %d", len(a.Predicates))
+	}
+	if a.Predicates[0].AnchorState != 1 || a.Predicates[1].AnchorState != 2 || a.Predicates[2].AnchorState != 2 {
+		t.Fatalf("anchor states: %d %d %d", a.Predicates[0].AnchorState, a.Predicates[1].AnchorState, a.Predicates[2].AnchorState)
+	}
+	if got := a.PredicatesAnchoredAt(2); len(got) != 2 {
+		t.Fatalf("two predicates anchored at state 2, got %v", got)
+	}
+}

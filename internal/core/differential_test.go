@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlac/internal/accessrule"
+	"xmlac/internal/xmlstream"
+	"xmlac/internal/xpath"
+)
+
+// Differential testing: the streaming evaluator must produce exactly the
+// same authorized view as the naive in-memory oracle of internal/accessrule
+// for randomly generated documents, policies and queries. This is the
+// strongest correctness guarantee of the repository: every conflict
+// resolution, propagation, pending-predicate and query-intersection path is
+// exercised against an independent implementation of the semantics.
+
+// rng is a small deterministic linear congruential generator (math/rand is
+// avoided so the corpus is stable across Go versions).
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed*6364136223846793005 + 1442695040888963407} }
+
+func (r *rng) next(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}
+
+func (r *rng) pick(items []string) string { return items[r.next(len(items))] }
+
+var diffTags = []string{"a", "b", "c", "d", "e", "f", "g"}
+var diffValues = []string{"1", "2", "3", "10", "42", "x", "y", "G3"}
+
+// randomDocument builds a random document with controlled fan-out and depth;
+// leaf elements carry a text value.
+func randomDocument(r *rng, maxDepth, maxFanout int) *xmlstream.Node {
+	var build func(depth int) *xmlstream.Node
+	build = func(depth int) *xmlstream.Node {
+		n := xmlstream.NewElement(r.pick(diffTags))
+		if depth >= maxDepth || r.next(4) == 0 {
+			n.Append(xmlstream.NewText(r.pick(diffValues)))
+			return n
+		}
+		kids := r.next(maxFanout) + 1
+		for i := 0; i < kids; i++ {
+			n.Append(build(depth + 1))
+		}
+		return n
+	}
+	root := xmlstream.NewElement("root")
+	kids := r.next(maxFanout) + 1
+	for i := 0; i < kids; i++ {
+		root.Append(build(2))
+	}
+	return root
+}
+
+// randomPathExpr generates a random XPath expression of the fragment.
+func randomPathExpr(r *rng) string {
+	steps := r.next(3) + 1
+	expr := ""
+	for i := 0; i < steps; i++ {
+		if r.next(2) == 0 {
+			expr += "//"
+		} else {
+			expr += "/"
+		}
+		if i == 0 && expr == "/" && r.next(3) == 0 {
+			expr = "//"
+		}
+		name := r.pick(diffTags)
+		if r.next(6) == 0 {
+			name = "*"
+		}
+		expr += name
+		if r.next(3) == 0 {
+			// Attach a predicate.
+			predPath := r.pick(diffTags)
+			if r.next(3) == 0 {
+				predPath = "//" + predPath
+			}
+			switch r.next(3) {
+			case 0:
+				expr += "[" + predPath + "]"
+			case 1:
+				expr += fmt.Sprintf("[%s=%s]", predPath, r.pick(diffValues))
+			default:
+				expr += fmt.Sprintf("[%s>%d]", predPath, r.next(40))
+			}
+		}
+	}
+	return expr
+}
+
+// randomPolicy generates a random policy with 1..5 rules of mixed signs.
+func randomPolicy(r *rng) *accessrule.Policy {
+	p := accessrule.NewPolicy("fuzz")
+	n := r.next(5) + 1
+	for i := 0; i < n; i++ {
+		sign := "+"
+		if r.next(3) == 0 {
+			sign = "-"
+		}
+		expr := randomPathExpr(r)
+		rule, err := accessrule.ParseRule(fmt.Sprintf("F%d", i), sign, expr)
+		if err != nil {
+			// Extremely unlikely given the generator, but never fail the
+			// fuzz loop on generation issues.
+			continue
+		}
+		p.Add(rule)
+	}
+	if len(p.Rules) == 0 {
+		p.Add(accessrule.MustRule("F0", "+", "//a"))
+	}
+	return p
+}
+
+func TestDifferentialRandomPolicies(t *testing.T) {
+	const iterations = 400
+	for seed := 0; seed < iterations; seed++ {
+		r := newRng(uint64(seed))
+		doc := randomDocument(r, 4+r.next(3), 3)
+		policy := randomPolicy(r)
+		oracle := accessrule.AuthorizedView(doc, policy, accessrule.ViewOptions{})
+		res, err := Evaluate(xmlstream.NewTreeReader(doc), policy, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Evaluate failed: %v\ndoc: %s\npolicy: %s",
+				seed, err, xmlstream.SerializeTree(doc, false), policy)
+		}
+		if !treesEqual(res.View, oracle) {
+			t.Fatalf("seed %d: mismatch\ndoc:       %s\npolicy: %s\nstreaming: %s\noracle:    %s",
+				seed, xmlstream.SerializeTree(doc, false), policy, serialize(res.View), serialize(oracle))
+		}
+	}
+}
+
+func TestDifferentialRandomQueries(t *testing.T) {
+	const iterations = 250
+	for seed := 1000; seed < 1000+iterations; seed++ {
+		r := newRng(uint64(seed))
+		doc := randomDocument(r, 4, 3)
+		policy := randomPolicy(r)
+		queryExpr := randomPathExpr(r)
+		query, err := xpath.Parse(queryExpr)
+		if err != nil {
+			continue
+		}
+		oracle := accessrule.AuthorizedView(doc, policy, accessrule.ViewOptions{Query: query})
+		res, err := Evaluate(xmlstream.NewTreeReader(doc), policy, Options{Query: query})
+		if err != nil {
+			t.Fatalf("seed %d: Evaluate failed: %v", seed, err)
+		}
+		if !treesEqual(res.View, oracle) {
+			t.Fatalf("seed %d: query mismatch\ndoc:       %s\npolicy: %s\nquery: %s\nstreaming: %s\noracle:    %s",
+				seed, xmlstream.SerializeTree(doc, false), policy, queryExpr, serialize(res.View), serialize(oracle))
+		}
+	}
+}
+
+func TestDifferentialAblationsRandom(t *testing.T) {
+	// The optimizations (subtree decisions, predicate short-circuit) must
+	// never change the result.
+	const iterations = 150
+	for seed := 5000; seed < 5000+iterations; seed++ {
+		r := newRng(uint64(seed))
+		doc := randomDocument(r, 4, 3)
+		policy := randomPolicy(r)
+		base, err := Evaluate(xmlstream.NewTreeReader(doc), policy, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, opts := range []Options{
+			{DisableSubtreeDecisions: true},
+			{DisablePredicateShortCircuit: true},
+			{DisableSubtreeDecisions: true, DisablePredicateShortCircuit: true},
+		} {
+			alt, err := Evaluate(xmlstream.NewTreeReader(doc), policy, opts)
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			if !treesEqual(base.View, alt.View) {
+				t.Fatalf("seed %d: ablation %+v changed result\nbase: %s\nalt:  %s",
+					seed, opts, serialize(base.View), serialize(alt.View))
+			}
+		}
+	}
+}

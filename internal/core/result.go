@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+
+	"xmlac/internal/xmlstream"
+)
+
+// The result builder plays the role of the untrusted terminal in the target
+// architecture: it buffers the pending parts of the document (the paper
+// assumes "the terminal has enough memory to buffer the pending parts" or
+// can read them back from the server), reassembles them at the right place
+// when their delivery condition resolves (section 5), enforces the
+// Structural rule (ancestors of authorized nodes are kept, optionally with
+// dummied names) and produces the final authorized view.
+//
+// Memory discipline: the SOE-side state of the evaluator is bounded by the
+// document depth and the number of active tokens; everything kept here is
+// terminal-side memory. Subtrees whose decision is a definitive Deny are
+// pruned as soon as their element closes, so the terminal retains only the
+// delivered view plus the still-pending fragments.
+
+// nodeState tracks the delivery state of one buffered element or text node.
+type nodeState int
+
+const (
+	// stateUndecided: delivery depends on pending predicates.
+	stateUndecided nodeState = iota
+	// stateIncluded: the node belongs to the authorized view (with its
+	// text).
+	stateIncluded
+	// stateExcluded: the node itself is denied; it may still appear without
+	// text as a structural ancestor of an included descendant.
+	stateExcluded
+)
+
+// resultNode is one element or text node of the result skeleton.
+type resultNode struct {
+	isText bool
+	name   string
+	value  string
+	state  nodeState
+
+	parent   *resultNode
+	children []*resultNode
+
+	// access is the access-control decision for the element independent of
+	// the query (the query result is computed over the authorized view, so
+	// query predicates may only observe values whose access decision is
+	// Permit). It starts equal to the streaming decision and is refined when
+	// pending predicates resolve.
+	access Decision
+
+	// deferredQuery lists query predicate instances whose satisfaction was
+	// observed under this element while its access decision was still
+	// pending; they are satisfied if and when the element becomes
+	// access-permitted.
+	deferredQuery []predKey
+
+	// For undecided element nodes: the Authorization Stack snapshot
+	// (including query entries) governing the node, re-evaluated when one of
+	// the pending instances it waits on resolves.
+	snapshot []*authLevel
+	hasQuery bool
+}
+
+// ErrUnbalancedResult is returned when Finalize is called while elements are
+// still open.
+var ErrUnbalancedResult = errors.New("core: unbalanced result (document not fully processed)")
+
+// resultBuilder accumulates the result skeleton during parsing.
+type resultBuilder struct {
+	root    *resultNode
+	current *resultNode
+	// dummyNames controls the Structural-rule rendering of denied ancestors.
+	dummyNames bool
+	// openStack mirrors the currently open elements.
+	openStack []*resultNode
+	// pendingCount tracks how many nodes are still undecided, to detect
+	// internal accounting bugs at Finalize time.
+	pendingCount int
+	// metrics
+	deliveredEarly int64 // nodes whose decision was known when first seen
+	deliveredLate  int64 // nodes delivered after a pending resolution
+}
+
+func newResultBuilder(dummyNames bool) *resultBuilder {
+	return &resultBuilder{dummyNames: dummyNames}
+}
+
+// openElement records an element with its (possibly pending) delivery
+// decision d and access-control decision access, and returns the created
+// node so the evaluator can register it as a waiter on unresolved predicate
+// instances.
+func (b *resultBuilder) openElement(name string, d, access Decision, snapshot []*authLevel, hasQuery bool) *resultNode {
+	n := &resultNode{name: name, parent: b.current, access: access}
+	switch d {
+	case Permit:
+		n.state = stateIncluded
+		b.deliveredEarly++
+	case Deny:
+		n.state = stateExcluded
+	default:
+		n.state = stateUndecided
+		n.snapshot = snapshot
+		n.hasQuery = hasQuery
+		b.pendingCount++
+	}
+	if b.current == nil {
+		b.root = n
+	} else {
+		b.current.children = append(b.current.children, n)
+	}
+	b.current = n
+	b.openStack = append(b.openStack, n)
+	return n
+}
+
+// text records a text node under the current element. Its delivery follows
+// the enclosing element's decision, so it simply inherits the parent state
+// (text of an undecided element is resolved together with it).
+func (b *resultBuilder) text(value string) {
+	if b.current == nil {
+		return
+	}
+	n := &resultNode{isText: true, value: value, parent: b.current, state: b.current.state}
+	b.current.children = append(b.current.children, n)
+}
+
+// closeElement closes the current element. Subtrees that are definitively
+// excluded and have no included or undecided descendant are pruned to bound
+// terminal memory.
+func (b *resultBuilder) closeElement() {
+	if len(b.openStack) == 0 {
+		return
+	}
+	n := b.openStack[len(b.openStack)-1]
+	b.openStack = b.openStack[:len(b.openStack)-1]
+	if len(b.openStack) > 0 {
+		b.current = b.openStack[len(b.openStack)-1]
+	} else {
+		b.current = nil
+	}
+	if n.parent != nil && n.state == stateExcluded && !hasLiveDescendant(n) {
+		// Prune: remove n from its parent.
+		siblings := n.parent.children
+		for i := len(siblings) - 1; i >= 0; i-- {
+			if siblings[i] == n {
+				n.parent.children = append(siblings[:i], siblings[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// hasLiveDescendant reports whether any descendant (or the node itself) is
+// included or still undecided.
+func hasLiveDescendant(n *resultNode) bool {
+	if n.state == stateIncluded || n.state == stateUndecided {
+		return true
+	}
+	for _, c := range n.children {
+		if hasLiveDescendant(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve re-evaluates an undecided element node after one of its pending
+// predicate instances resolved. It returns true when the node reached a
+// definitive state.
+func (b *resultBuilder) resolve(n *resultNode, d Decision) bool {
+	if n.state != stateUndecided {
+		return true
+	}
+	switch d {
+	case Permit:
+		n.state = stateIncluded
+		b.deliveredLate++
+	case Deny:
+		n.state = stateExcluded
+	default:
+		return false
+	}
+	b.pendingCount--
+	// Text children inherited the undecided state; align them.
+	for _, c := range n.children {
+		if c.isText && c.state == stateUndecided {
+			c.state = n.state
+		}
+	}
+	n.snapshot = nil
+	return true
+}
+
+// finalize builds the authorized view tree. Any node still undecided is
+// treated as denied (its predicates never resolved before the end of the
+// document, which means they are false). The returned tree is nil when the
+// view is empty.
+func (b *resultBuilder) finalize() (*xmlstream.Node, error) {
+	if len(b.openStack) != 0 {
+		return nil, ErrUnbalancedResult
+	}
+	if b.root == nil {
+		return nil, nil
+	}
+	return b.export(b.root), nil
+}
+
+// export converts the skeleton into the delivered view, applying the
+// Structural rule: an excluded element appears (without text, name possibly
+// dummied) only when it has an included descendant.
+func (b *resultBuilder) export(n *resultNode) *xmlstream.Node {
+	if n.isText {
+		if n.state == stateIncluded {
+			return xmlstream.NewText(n.value)
+		}
+		return nil
+	}
+	included := n.state == stateIncluded
+	var children []*xmlstream.Node
+	for _, c := range n.children {
+		if c.isText && !included {
+			// Text of a non-included element is never delivered, even when
+			// the element appears structurally.
+			continue
+		}
+		if cv := b.export(c); cv != nil {
+			children = append(children, cv)
+		}
+	}
+	if !included && len(children) == 0 {
+		return nil
+	}
+	name := n.name
+	if !included && b.dummyNames {
+		name = "_"
+	}
+	out := xmlstream.NewElement(name)
+	out.Children = children
+	return out
+}

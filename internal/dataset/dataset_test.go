@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"testing"
+
+	"xmlac/internal/accessrule"
+	"xmlac/internal/xmlstream"
+)
+
+func TestSpecsListsFourDatasets(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 4 {
+		t.Fatalf("expected 4 datasets, got %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+		if s.Generate == nil || s.PaperElements == 0 {
+			t.Errorf("spec %s incomplete", s.Name)
+		}
+	}
+	for _, want := range []string{"WSU", "Sigmod", "Treebank", "Hospital"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+	if _, err := SpecByName("Hospital"); err != nil {
+		t.Error(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	for _, s := range Specs() {
+		a := s.Generate(0.01)
+		b := s.Generate(0.01)
+		if !a.Equal(b) {
+			t.Errorf("%s generator is not deterministic", s.Name)
+		}
+	}
+	if !HospitalFolders(5, 1).Equal(HospitalFolders(5, 1)) {
+		t.Error("HospitalFolders not deterministic")
+	}
+	if HospitalFolders(5, 1).Equal(HospitalFolders(5, 2)) {
+		t.Error("different seeds should give different documents")
+	}
+}
+
+func TestHospitalShapeMatchesMotivatingExample(t *testing.T) {
+	doc := HospitalFolders(50, 3)
+	stats := xmlstream.ComputeStats(doc)
+	if stats.MaxDepth < 5 || stats.MaxDepth > 9 {
+		t.Errorf("hospital depth %d out of expected range", stats.MaxDepth)
+	}
+	// The document must carry the element names the Figure 1 policies refer
+	// to.
+	tags := map[string]bool{}
+	for _, tag := range doc.DistinctTags() {
+		tags[tag] = true
+	}
+	for _, want := range []string{"Folder", "Admin", "Age", "Protocol", "Type", "MedActs", "Act", "RPhys", "Details", "Analysis", "LabResults", "Cholesterol", "G3"} {
+		if !tags[want] {
+			t.Errorf("hospital document missing tag %s", want)
+		}
+	}
+	// The three profiles must yield non-empty, strictly nested views.
+	sec := accessrule.AuthorizedView(doc, accessrule.SecretaryPolicy(), accessrule.ViewOptions{})
+	docV := accessrule.AuthorizedView(doc, accessrule.DoctorPolicy("DrA"), accessrule.ViewOptions{})
+	res := accessrule.AuthorizedView(doc, accessrule.ResearcherPolicy(accessrule.ResearcherGroups(10)...), accessrule.ViewOptions{})
+	if sec == nil || docV == nil || res == nil {
+		t.Fatal("profile views must not be empty on a realistic hospital document")
+	}
+	secSize := len(xmlstream.SerializeTree(sec, false))
+	docSize := len(xmlstream.SerializeTree(docV, false))
+	total := len(xmlstream.SerializeTree(doc, false))
+	if !(secSize < docSize && docSize < total) {
+		t.Errorf("expected secretary < doctor < full document, got %d / %d / %d", secSize, docSize, total)
+	}
+}
+
+func TestWSUShape(t *testing.T) {
+	doc := WSU(0.05)
+	stats := xmlstream.ComputeStats(doc)
+	if stats.MaxDepth != 3 && stats.MaxDepth != 4 {
+		t.Errorf("WSU depth = %d, want 3-4 (paper: 4)", stats.MaxDepth)
+	}
+	if stats.DistinctTags < 12 || stats.DistinctTags > 25 {
+		t.Errorf("WSU distinct tags = %d, want ~20", stats.DistinctTags)
+	}
+	// WSU is structure-heavy: structure must be a large share of the total.
+	structure := stats.SerializedSize - stats.TextSize
+	if structure < stats.TextSize {
+		t.Errorf("WSU should be structure-heavy (structure %d vs text %d)", structure, stats.TextSize)
+	}
+}
+
+func TestSigmodShape(t *testing.T) {
+	doc := Sigmod(0.2)
+	stats := xmlstream.ComputeStats(doc)
+	if stats.MaxDepth != 6 {
+		t.Errorf("Sigmod depth = %d, want 6", stats.MaxDepth)
+	}
+	if stats.DistinctTags < 9 || stats.DistinctTags > 13 {
+		t.Errorf("Sigmod distinct tags = %d, want ~11", stats.DistinctTags)
+	}
+}
+
+func TestTreebankShape(t *testing.T) {
+	doc := Treebank(0.01)
+	stats := xmlstream.ComputeStats(doc)
+	if stats.MaxDepth < 15 {
+		t.Errorf("Treebank max depth = %d, expected deep recursion", stats.MaxDepth)
+	}
+	if stats.DistinctTags < 100 {
+		t.Errorf("Treebank distinct tags = %d, want a large vocabulary", stats.DistinctTags)
+	}
+	if stats.AvgDepth < 5 || stats.AvgDepth > 12 {
+		t.Errorf("Treebank avg depth = %.1f, want around 7.8", stats.AvgDepth)
+	}
+}
+
+func TestScaleControlsSize(t *testing.T) {
+	small := xmlstream.ComputeStats(Hospital(0.01)).SerializedSize
+	larger := xmlstream.ComputeStats(Hospital(0.05)).SerializedSize
+	if larger <= small {
+		t.Errorf("scale must grow the document: %d vs %d", small, larger)
+	}
+	if min := xmlstream.ComputeStats(Hospital(0)).Elements; min == 0 {
+		t.Error("scale 0 must still produce a minimal document")
+	}
+}
+
+func TestPhysiciansStable(t *testing.T) {
+	p := Physicians()
+	if len(p) == 0 || p[0] != "DrA" {
+		t.Fatalf("unexpected physicians %v", p)
+	}
+	p[0] = "mutated"
+	if Physicians()[0] != "DrA" {
+		t.Fatal("Physicians must return a copy")
+	}
+}
+
+func TestRandomPolicy(t *testing.T) {
+	doc := Sigmod(0.1)
+	p := RandomPolicy(doc, 8, 99)
+	if len(p.Rules) == 0 {
+		t.Fatal("random policy must contain rules")
+	}
+	if len(p.PositiveRules()) == 0 {
+		t.Fatal("random policy must contain at least one positive rule")
+	}
+	p2 := RandomPolicy(doc, 8, 99)
+	if p.String() != p2.String() {
+		t.Fatal("random policy must be deterministic for a given seed")
+	}
+	p3 := RandomPolicy(doc, 8, 100)
+	if p.String() == p3.String() {
+		t.Fatal("different seeds should give different policies")
+	}
+	// The policy must be evaluable end to end.
+	view := accessrule.AuthorizedView(doc, p, accessrule.ViewOptions{})
+	_ = view // empty views are acceptable; the call must simply not panic
+}
+
+func TestHospitalAgesAreNumeric(t *testing.T) {
+	doc := HospitalFolders(20, 5)
+	ages := 0
+	doc.Walk(func(n *xmlstream.Node) bool {
+		if n.Kind == xmlstream.ElementNode && n.Name == "Age" {
+			ages++
+			if n.Text() == "" {
+				t.Error("empty Age value")
+			}
+		}
+		return true
+	})
+	if ages != 20 {
+		t.Errorf("expected one Age per folder, got %d", ages)
+	}
+}

@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlac/internal/accessrule"
+	"xmlac/internal/dataset"
+	"xmlac/internal/secure"
+	"xmlac/internal/soe"
+	"xmlac/internal/xpath"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 9 — access control overhead
+// ---------------------------------------------------------------------------
+
+// Figure9Row holds the three strategies for one user profile.
+type Figure9Row struct {
+	Profile string
+	// Seconds per strategy (BF, TCSBR, LWB), estimated under the configured
+	// cost profile, without integrity checking (as in the paper).
+	BFSeconds    float64
+	TCSBRSeconds float64
+	LWBSeconds   float64
+	// Ratio of each strategy to LWB (the Y axis of Figure 9).
+	BFOverLWB    float64
+	TCSBROverLWB float64
+	// Cost breakdown of the TCSBR run, in percent of its total.
+	AccessControlPct float64
+	CommunicationPct float64
+	DecryptionPct    float64
+	// ViewBytes is the size of the delivered authorized view.
+	ViewBytes int64
+}
+
+// Figure9Result reproduces Figure 9.
+type Figure9Result struct {
+	Rows []Figure9Row
+	// EncodedSize is the compressed document size the strategies process.
+	EncodedSize int64
+}
+
+// Figure9 runs BF, TCSBR and LWB for the Secretary, Doctor and Researcher
+// profiles on the Hospital document (integrity checking disabled, as in the
+// paper's Figure 9).
+func Figure9(cfg Config) (*Figure9Result, error) {
+	cfg = cfg.normalize()
+	w, err := newHospitalWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure9Result{EncodedSize: w.EncodedSize()}
+	policies := hospitalProfiles()
+	for _, name := range profileOrder {
+		policy := policies[name]
+		row := Figure9Row{Profile: name}
+		reports := map[soe.Strategy]*soe.Report{}
+		for _, strat := range []soe.Strategy{soe.BruteForce, soe.SkipIndexStrategy, soe.LowerBound} {
+			rep, err := w.Run(soe.RunSpec{
+				Strategy: strat,
+				Policy:   policy,
+				Scheme:   secure.SchemeECB,
+				Profile:  cfg.Profile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure 9 (%s/%s): %w", name, strat, err)
+			}
+			reports[strat] = rep
+		}
+		row.BFSeconds = reports[soe.BruteForce].Breakdown.Total()
+		row.TCSBRSeconds = reports[soe.SkipIndexStrategy].Breakdown.Total()
+		row.LWBSeconds = reports[soe.LowerBound].Breakdown.Total()
+		if row.LWBSeconds > 0 {
+			row.BFOverLWB = row.BFSeconds / row.LWBSeconds
+			row.TCSBROverLWB = row.TCSBRSeconds / row.LWBSeconds
+		}
+		b := reports[soe.SkipIndexStrategy].Breakdown
+		if total := b.Total(); total > 0 {
+			row.AccessControlPct = 100 * b.AccessControlSeconds / total
+			row.CommunicationPct = 100 * b.CommunicationSeconds / total
+			row.DecryptionPct = 100 * b.DecryptionSeconds / total
+		}
+		row.ViewBytes = reports[soe.SkipIndexStrategy].ResultBytes
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the result the way Figure 9 reports it.
+func (f *Figure9Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9. Access control overhead (Hospital document, no integrity)\n")
+	fmt.Fprintf(&sb, "compressed document size: %d bytes\n", f.EncodedSize)
+	fmt.Fprintf(&sb, "%-12s %10s %10s %10s %10s %12s %8s %8s %8s %10s\n",
+		"Profile", "BF (s)", "TCSBR (s)", "LWB (s)", "BF/LWB", "TCSBR/LWB", "AC %", "Comm %", "Decr %", "view (B)")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-12s %10.2f %10.2f %10.2f %10.1f %12.2f %8.1f %8.1f %8.1f %10d\n",
+			r.Profile, r.BFSeconds, r.TCSBRSeconds, r.LWBSeconds, r.BFOverLWB, r.TCSBROverLWB,
+			r.AccessControlPct, r.CommunicationPct, r.DecryptionPct, r.ViewBytes)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — impact of queries
+// ---------------------------------------------------------------------------
+
+// Figure10Point is one point of one series: the query //Folder[//Age>v] over
+// one view.
+type Figure10Point struct {
+	AgeThreshold int
+	ResultKB     float64
+	Seconds      float64
+}
+
+// Figure10Series is the curve of one view (S, PTD, FTD, JR, SR).
+type Figure10Series struct {
+	View   string
+	Points []Figure10Point
+}
+
+// Figure10Result reproduces Figure 10 (query execution time as a function of
+// the query result size, for five views).
+type Figure10Result struct {
+	Series []Figure10Series
+}
+
+// Figure10 sweeps the selectivity of the query //Folder[//Age > v] over the
+// five views of the paper: Secretary, part-time and full-time doctor, junior
+// and senior researcher.
+func Figure10(cfg Config) (*Figure10Result, error) {
+	cfg = cfg.normalize()
+	w, err := newHospitalWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	views := []struct {
+		name   string
+		policy *accessrule.Policy
+	}{
+		{"Sec", accessrule.SecretaryPolicy()},
+		{"PTD", accessrule.DoctorPolicy(dataset.PartTimePhysician())},
+		{"FTD", accessrule.DoctorPolicy(dataset.FullTimePhysician())},
+		{"JR", accessrule.ResearcherPolicy(accessrule.ResearcherGroups(2)...)},
+		{"SR", accessrule.ResearcherPolicy(accessrule.ResearcherGroups(10)...)},
+	}
+	thresholds := []int{95, 80, 65, 50, 35, 18}
+	res := &Figure10Result{}
+	for _, v := range views {
+		series := Figure10Series{View: v.name}
+		for _, age := range thresholds {
+			q, err := xpath.Parse(fmt.Sprintf("//Folder[//Age>%d]", age))
+			if err != nil {
+				return nil, err
+			}
+			rep, err := w.Run(soe.RunSpec{
+				Strategy: soe.SkipIndexStrategy,
+				Policy:   v.policy,
+				Query:    q,
+				Scheme:   secure.SchemeECB,
+				Profile:  cfg.Profile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure 10 (%s, age>%d): %w", v.name, age, err)
+			}
+			series.Points = append(series.Points, Figure10Point{
+				AgeThreshold: age,
+				ResultKB:     float64(rep.ResultBytes) / 1024,
+				Seconds:      rep.Breakdown.Total(),
+			})
+		}
+		sort.Slice(series.Points, func(i, j int) bool { return series.Points[i].ResultKB < series.Points[j].ResultKB })
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Render formats the result as one line per (view, threshold) point.
+func (f *Figure10Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10. Impact of queries (//Folder[//Age>v], TCSBR, no integrity)\n")
+	fmt.Fprintf(&sb, "%-6s %12s %14s %12s\n", "View", "Age > v", "result (KB)", "time (s)")
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%-6s %12d %14.1f %12.2f\n", s.View, p.AgeThreshold, p.ResultKB, p.Seconds)
+		}
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — integrity control
+// ---------------------------------------------------------------------------
+
+// Figure11Row holds, for one user profile, the execution time under each
+// encryption/integrity scheme.
+type Figure11Row struct {
+	Profile string
+	// Seconds maps scheme name -> estimated execution time.
+	Seconds map[string]float64
+}
+
+// Figure11Result reproduces Figure 11.
+type Figure11Result struct {
+	Rows []Figure11Row
+}
+
+// Figure11 evaluates the three Hospital profiles under the four schemes
+// (ECB, CBC-SHA, CBC-SHAC, ECB-MHT) with the TCSBR strategy.
+func Figure11(cfg Config) (*Figure11Result, error) {
+	cfg = cfg.normalize()
+	w, err := newHospitalWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	policies := hospitalProfiles()
+	res := &Figure11Result{}
+	for _, name := range profileOrder {
+		row := Figure11Row{Profile: name, Seconds: map[string]float64{}}
+		for _, scheme := range secure.Schemes() {
+			rep, err := w.Run(soe.RunSpec{
+				Strategy: soe.SkipIndexStrategy,
+				Policy:   policies[name],
+				Scheme:   scheme,
+				Profile:  cfg.Profile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure 11 (%s/%s): %w", name, scheme, err)
+			}
+			row.Seconds[scheme.String()] = rep.Breakdown.Total()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the result like the Figure 11 histogram.
+func (f *Figure11Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11. Impact of integrity control (Hospital document, TCSBR)\n")
+	schemes := []string{"ECB", "CBC-SHA", "CBC-SHAC", "ECB-MHT"}
+	fmt.Fprintf(&sb, "%-12s", "Profile")
+	for _, s := range schemes {
+		fmt.Fprintf(&sb, " %12s", s+" (s)")
+	}
+	sb.WriteString("\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-12s", r.Profile)
+		for _, s := range schemes {
+			fmt.Fprintf(&sb, " %12.2f", r.Seconds[s])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — performance on real datasets
+// ---------------------------------------------------------------------------
+
+// Figure12Row is the throughput of one workload (dataset or Hospital
+// profile) under TCSBR and LWB, with and without integrity.
+type Figure12Row struct {
+	Workload string
+	// ThroughputKBps maps series name -> KB/s: "TCSBR-Integrity",
+	// "LWB-Integrity", "TCSBR-NoIntegrity", "LWB-NoIntegrity".
+	ThroughputKBps map[string]float64
+	// ViewFraction is the fraction of the document delivered by the policy.
+	ViewFraction float64
+}
+
+// Figure12Result reproduces Figure 12.
+type Figure12Result struct {
+	Rows []Figure12Row
+}
+
+// Figure12 evaluates the three "real" datasets under random access-control
+// policies (including // and predicates, as in the paper) plus the three
+// Hospital profiles, reporting the estimated throughput of TCSBR and LWB
+// with and without integrity checking.
+func Figure12(cfg Config) (*Figure12Result, error) {
+	cfg = cfg.normalize()
+	res := &Figure12Result{}
+
+	type workloadSpec struct {
+		name   string
+		w      *soe.Workload
+		policy *accessrule.Policy
+	}
+	var specs []workloadSpec
+
+	// Real datasets with random policies (Sigmod gets a simple, weakly
+	// selective policy; Treebank a complex 8-rule one, as described in the
+	// paper).
+	for _, ds := range []struct {
+		name  string
+		rules int
+		seed  uint64
+	}{
+		{"Sigmod", 3, 41},
+		{"WSU", 5, 43},
+		{"Treebank", 8, 47},
+	} {
+		spec, err := dataset.SpecByName(ds.name)
+		if err != nil {
+			return nil, err
+		}
+		doc := spec.Generate(cfg.Scale)
+		w, err := soe.NewWorkload(ds.name, doc, cfg.Key)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, workloadSpec{ds.name, w, dataset.RandomPolicy(doc, ds.rules, ds.seed)})
+	}
+	// Hospital profiles.
+	hw, err := newHospitalWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	policies := hospitalProfiles()
+	for _, name := range profileOrder {
+		specs = append(specs, workloadSpec{"Hosp-" + name, hw, policies[name]})
+	}
+
+	for _, s := range specs {
+		row := Figure12Row{Workload: s.name, ThroughputKBps: map[string]float64{}}
+		for _, variant := range []struct {
+			label    string
+			strategy soe.Strategy
+			scheme   secure.Scheme
+		}{
+			{"TCSBR-Integrity", soe.SkipIndexStrategy, secure.SchemeECBMHT},
+			{"LWB-Integrity", soe.LowerBound, secure.SchemeECBMHT},
+			{"TCSBR-NoIntegrity", soe.SkipIndexStrategy, secure.SchemeECB},
+			{"LWB-NoIntegrity", soe.LowerBound, secure.SchemeECB},
+		} {
+			rep, err := s.w.Run(soe.RunSpec{
+				Strategy: variant.strategy,
+				Policy:   s.policy,
+				Scheme:   variant.scheme,
+				Profile:  cfg.Profile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure 12 (%s/%s): %w", s.name, variant.label, err)
+			}
+			row.ThroughputKBps[variant.label] = rep.Throughput(s.w.EncodedSize())
+			if variant.label == "TCSBR-NoIntegrity" && s.w.EncodedSize() > 0 {
+				row.ViewFraction = float64(rep.ResultBytes) / float64(s.w.EncodedSize())
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the result like the Figure 12 histogram.
+func (f *Figure12Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12. Performance on real datasets (throughput, KB/s of compressed document)\n")
+	series := []string{"TCSBR-Integrity", "LWB-Integrity", "TCSBR-NoIntegrity", "LWB-NoIntegrity"}
+	fmt.Fprintf(&sb, "%-16s", "Workload")
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %18s", s)
+	}
+	fmt.Fprintf(&sb, " %10s\n", "view frac")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-16s", r.Workload)
+		for _, s := range series {
+			fmt.Fprintf(&sb, " %18.1f", r.ThroughputKBps[s])
+		}
+		fmt.Fprintf(&sb, " %10.2f\n", r.ViewFraction)
+	}
+	return sb.String()
+}

@@ -1,0 +1,166 @@
+package secure
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The marshalled form of a Protected document is what the publisher stores
+// on the untrusted server / terminal:
+//
+//	magic "XSEC" | version 1 | scheme | chunkSize | fragmentSize | plainLen |
+//	numDigests | digests... | ciphertext
+//
+// All integers are little-endian uint32/uint64. Nothing in the container is
+// secret (it is exactly what the attacker sees).
+
+var containerMagic = []byte("XSEC")
+
+const containerVersion = 1
+
+// Marshal serializes the protected document.
+func (p *Protected) Marshal() []byte {
+	out := make([]byte, 0, len(p.Ciphertext)+len(p.ChunkDigests)*encryptedDigestSize+64)
+	out = append(out, containerMagic...)
+	out = append(out, containerVersion)
+	out = append(out, byte(p.Scheme))
+	out = appendUint32(out, uint32(p.ChunkSize))
+	out = appendUint32(out, uint32(p.FragmentSize))
+	out = appendUint64(out, uint64(p.PlainLen))
+	out = appendUint32(out, uint32(len(p.ChunkDigests)))
+	for _, d := range p.ChunkDigests {
+		out = appendUint32(out, uint32(len(d)))
+		out = append(out, d...)
+	}
+	out = appendUint64(out, uint64(len(p.Ciphertext)))
+	out = append(out, p.Ciphertext...)
+	return out
+}
+
+// Unmarshal parses a marshalled protected document.
+func Unmarshal(data []byte) (*Protected, error) {
+	r := &byteReader{data: data}
+	magicBytes, err := r.take(4)
+	if err != nil {
+		return nil, err
+	}
+	for i := range containerMagic {
+		if magicBytes[i] != containerMagic[i] {
+			return nil, fmt.Errorf("secure: not a protected document (bad magic)")
+		}
+	}
+	version, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if version != containerVersion {
+		return nil, fmt.Errorf("secure: unsupported container version %d", version)
+	}
+	schemeByte, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	p := &Protected{Scheme: Scheme(schemeByte)}
+	if p.Scheme < SchemeECB || p.Scheme > SchemeECBMHT {
+		return nil, fmt.Errorf("secure: unknown scheme %d", schemeByte)
+	}
+	chunkSize, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	fragSize, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	plainLen, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	p.ChunkSize = int(chunkSize)
+	p.FragmentSize = int(fragSize)
+	p.PlainLen = int(plainLen)
+	nDigests, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if nDigests > 1<<26 {
+		return nil, fmt.Errorf("secure: implausible digest count %d", nDigests)
+	}
+	for i := uint32(0); i < nDigests; i++ {
+		l, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if l > 64 {
+			return nil, fmt.Errorf("secure: implausible digest length %d", l)
+		}
+		d, err := r.take(int(l))
+		if err != nil {
+			return nil, err
+		}
+		p.ChunkDigests = append(p.ChunkDigests, append([]byte(nil), d...))
+	}
+	ctLen, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	ct, err := r.take(int(ctLen))
+	if err != nil {
+		return nil, err
+	}
+	p.Ciphertext = append([]byte(nil), ct...)
+	if p.PlainLen > len(p.Ciphertext) {
+		return nil, fmt.Errorf("secure: plaintext length %d exceeds ciphertext length %d", p.PlainLen, len(p.Ciphertext))
+	}
+	return p, nil
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("secure: truncated container")
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *byteReader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *byteReader) uint32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *byteReader) uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}

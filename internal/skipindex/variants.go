@@ -1,0 +1,159 @@
+package skipindex
+
+import (
+	"xmlac/internal/xmlstream"
+)
+
+// Variant identifies one of the encoding schemes compared by Figure 8 of the
+// paper. All variants share the same dictionary-based tag compression; they
+// differ in which structural metadata they store.
+type Variant int
+
+const (
+	// NC is the original non-compressed textual document.
+	NC Variant = iota
+	// TC compresses tags with the dictionary (log2(Nt) bits per tag, one
+	// opening and one closing code per element).
+	TC
+	// TCS adds the subtree size (log2(compressed document size) bits per
+	// element) which makes closing tags unnecessary and enables skipping.
+	TCS
+	// TCSB adds the bitmap of descendant tags (Nt bits per internal
+	// element).
+	TCSB
+	// TCSBR is the recursive variant of TCSB — the actual Skip index: tag
+	// indexes, subtree sizes and bitmaps are all encoded relative to the
+	// parent's metadata.
+	TCSBR
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case NC:
+		return "NC"
+	case TC:
+		return "TC"
+	case TCS:
+		return "TCS"
+	case TCSB:
+		return "TCSB"
+	case TCSBR:
+		return "TCSBR"
+	default:
+		return "unknown"
+	}
+}
+
+// Variants lists the five schemes in the order of Figure 8.
+func Variants() []Variant { return []Variant{NC, TC, TCS, TCSB, TCSBR} }
+
+// SizeReport is the storage accounting of one variant over one document.
+type SizeReport struct {
+	Variant Variant
+	// StructureBytes is the size of the structural part (tags + metadata)
+	// of the encoding.
+	StructureBytes int64
+	// TextBytes is the size of the text content (identical across
+	// variants).
+	TextBytes int64
+	// TotalBytes is structure + text (+ fixed headers for TCSBR).
+	TotalBytes int64
+	// StructureOverText is the ratio plotted by Figure 8, in percent.
+	StructureOverText float64
+}
+
+// MeasureVariant computes the storage report of one variant on a document.
+// Structure sizes are computed at bit granularity (as in the paper) and
+// reported in bytes.
+func MeasureVariant(root *xmlstream.Node, v Variant) SizeReport {
+	textBytes := int64(root.TextLength())
+	elements := int64(root.CountElements())
+	nt := len(root.DistinctTags())
+
+	report := SizeReport{Variant: v, TextBytes: textBytes}
+	switch v {
+	case NC:
+		total := int64(len(xmlstream.SerializeTree(root, false)))
+		report.StructureBytes = total - textBytes
+		report.TotalBytes = total
+	case TC:
+		// One opening and one closing code per element; codes must also
+		// distinguish the "close" marker, hence Nt+1 symbols.
+		bitsPerCode := int64(bitsFor(uint64(nt)))
+		bits := elements * 2 * bitsPerCode
+		report.StructureBytes = (bits + 7) / 8
+		report.TotalBytes = report.StructureBytes + textBytes
+	case TCS:
+		report.StructureBytes = measureTCS(root, nt, false)
+		report.TotalBytes = report.StructureBytes + textBytes
+	case TCSB:
+		report.StructureBytes = measureTCS(root, nt, true)
+		report.TotalBytes = report.StructureBytes + textBytes
+	case TCSBR:
+		enc, err := Encode(root)
+		if err != nil {
+			// An encoding failure would be a programming error; report an
+			// empty measurement rather than panicking in a measurement path.
+			return report
+		}
+		report.StructureBytes = (int64(enc.StructureBits) + 7) / 8
+		report.TotalBytes = int64(len(enc.Data))
+	}
+	if textBytes > 0 {
+		report.StructureOverText = 100 * float64(report.StructureBytes) / float64(textBytes)
+	}
+	return report
+}
+
+// measureTCS computes the structural bit size of the TCS (and, with bitmaps,
+// TCSB) encodings: per element a tag code of log2(Nt) bits and a subtree
+// size of log2(compressed document size) bits, plus Nt bits of descendant
+// bitmap per internal element for TCSB. The subtree-size width depends on
+// the total compressed size, which is resolved with a two-pass computation.
+func measureTCS(root *xmlstream.Node, nt int, withBitmap bool) int64 {
+	elements := int64(root.CountElements())
+	internal := int64(0)
+	root.Walk(func(n *xmlstream.Node) bool {
+		if n.Kind == xmlstream.ElementNode && !n.IsLeaf() {
+			internal++
+		}
+		return true
+	})
+	tagBits := int64(bitsForCount(nt))
+	textBytes := int64(root.TextLength())
+
+	// First pass: assume 32-bit subtree sizes to estimate the compressed
+	// total, then derive the real width from it.
+	sizeBits := int64(32)
+	for i := 0; i < 4; i++ {
+		structBits := elements*(tagBits+sizeBits) + leafFlagBits(elements)
+		if withBitmap {
+			structBits += internal * int64(nt)
+		}
+		total := (structBits+7)/8 + textBytes
+		newWidth := int64(bitsFor(uint64(total)))
+		if newWidth == sizeBits {
+			break
+		}
+		sizeBits = newWidth
+	}
+	structBits := elements*(tagBits+sizeBits) + leafFlagBits(elements)
+	if withBitmap {
+		structBits += internal * int64(nt)
+	}
+	return (structBits + 7) / 8
+}
+
+// leafFlagBits is the one-bit leaf/internal marker the paper adds to each
+// node so leaves can omit the TagArray.
+func leafFlagBits(elements int64) int64 { return elements }
+
+// MeasureAll runs MeasureVariant for every variant.
+func MeasureAll(root *xmlstream.Node) []SizeReport {
+	out := make([]SizeReport, 0, 5)
+	for _, v := range Variants() {
+		out = append(out, MeasureVariant(root, v))
+	}
+	return out
+}

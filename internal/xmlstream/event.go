@@ -1,0 +1,92 @@
+// Package xmlstream provides the streaming XML substrate used by the whole
+// library: an event model equivalent to the SAX assumption made by the paper
+// (open, value and close events), a lightweight hand-rolled parser producing
+// that event stream, a DOM-lite tree used by the dataset generators and the
+// Skip-index encoder, a serializer and document statistics.
+//
+// The paper (section 3.1) assumes "the evaluator is fed by an event-based
+// parser (e.g., SAX) raising open, value and close events respectively for
+// each opening, text and closing tag in the input document". This package is
+// that parser plus the few document-side utilities the rest of the system
+// needs.
+package xmlstream
+
+import "fmt"
+
+// EventKind discriminates the three SAX-like events of the paper's model.
+type EventKind int
+
+const (
+	// Open is raised for an opening tag.
+	Open EventKind = iota
+	// Text is raised for a text node ("value event" in the paper).
+	Text
+	// Close is raised for a closing tag.
+	Close
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Open:
+		return "open"
+	case Text:
+		return "text"
+	case Close:
+		return "close"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one SAX-like event. For Open and Close events Name carries the
+// element tag; for Text events Value carries the text content. Depth is the
+// depth of the element the event refers to, with the document root at depth 1
+// (matching the depth convention used for token proxies in the paper's
+// figures). For a Text event, Depth is the depth of the enclosing element.
+type Event struct {
+	Kind  EventKind
+	Name  string
+	Value string
+	Depth int
+}
+
+// String renders a compact human-readable form used in traces and tests.
+func (e Event) String() string {
+	switch e.Kind {
+	case Open:
+		return fmt.Sprintf("<%s>@%d", e.Name, e.Depth)
+	case Text:
+		return fmt.Sprintf("%q@%d", e.Value, e.Depth)
+	case Close:
+		return fmt.Sprintf("</%s>@%d", e.Name, e.Depth)
+	default:
+		return "?"
+	}
+}
+
+// EventReader is the interface consumed by the access-control evaluator.
+// Next returns the next event or io.EOF when the document is exhausted.
+type EventReader interface {
+	Next() (Event, error)
+}
+
+// Skipper is implemented by event sources that can skip the remainder of a
+// subtree without producing its events (the Skip-index decoder, which jumps
+// using the encoded SubtreeSize, and the TreeReader which scans forward).
+// The returned byte count is the amount of encoded input that was jumped
+// over; the SOE cost model uses it to account for saved communication and
+// decryption.
+type Skipper interface {
+	// SkipToClose discards every event up to, but not including, the next
+	// Close event of the element at the given depth. The Close event itself
+	// is returned by the following call to Next, so the consumer still
+	// performs its normal end-of-element bookkeeping.
+	SkipToClose(depth int) (int64, error)
+}
+
+// EventWriter receives a stream of events, typically to build the authorized
+// view of a document.
+type EventWriter interface {
+	WriteEvent(Event) error
+}

@@ -1,0 +1,300 @@
+package xmlstream
+
+import (
+	"sort"
+	"strings"
+)
+
+// NodeKind discriminates element and text nodes of the DOM-lite tree.
+type NodeKind int
+
+const (
+	// ElementNode is an XML element.
+	ElementNode NodeKind = iota
+	// TextNode is a text node.
+	TextNode
+)
+
+// Node is a lightweight in-memory XML node. The tree form is used by the
+// dataset generators, by the Skip-index encoder (which needs subtree sizes
+// and descendant-tag sets before emitting an element) and by tests. The
+// streaming evaluator itself never materializes the document, per the
+// paper's memory constraint.
+type Node struct {
+	Kind     NodeKind
+	Name     string  // element tag, empty for text nodes
+	Value    string  // text content, empty for element nodes
+	Children []*Node // element children in document order
+}
+
+// NewElement returns an element node with the given tag and children.
+func NewElement(name string, children ...*Node) *Node {
+	return &Node{Kind: ElementNode, Name: name, Children: children}
+}
+
+// NewText returns a text node with the given content.
+func NewText(value string) *Node {
+	return &Node{Kind: TextNode, Value: value}
+}
+
+// Elem builds an element whose single child is a text node; a convenient
+// shorthand for leaf elements such as <age>52</age>.
+func Elem(name, text string) *Node {
+	return NewElement(name, NewText(text))
+}
+
+// Append adds children to the node and returns the node for chaining.
+func (n *Node) Append(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// IsLeaf reports whether the element has no element children (its children
+// are text nodes only, or it is empty). Text nodes are leaves by definition.
+func (n *Node) IsLeaf() bool {
+	if n.Kind == TextNode {
+		return true
+	}
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			return false
+		}
+	}
+	return true
+}
+
+// Text returns the concatenation of the direct text children of an element
+// node, or the value of a text node.
+func (n *Node) Text() string {
+	if n.Kind == TextNode {
+		return n.Value
+	}
+	var sb strings.Builder
+	for _, c := range n.Children {
+		if c.Kind == TextNode {
+			sb.WriteString(c.Value)
+		}
+	}
+	return sb.String()
+}
+
+// Child returns the first element child with the given tag, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildText returns the text of the first element child with the given tag.
+func (n *Node) ChildText(name string) string {
+	if c := n.Child(name); c != nil {
+		return c.Text()
+	}
+	return ""
+}
+
+// Walk calls fn for every node of the subtree in document order (pre-order).
+// If fn returns false the children of the node are not visited.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// CountElements returns the number of element nodes in the subtree,
+// including the receiver when it is an element.
+func (n *Node) CountElements() int {
+	count := 0
+	n.Walk(func(m *Node) bool {
+		if m.Kind == ElementNode {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// CountTextNodes returns the number of text nodes in the subtree.
+func (n *Node) CountTextNodes() int {
+	count := 0
+	n.Walk(func(m *Node) bool {
+		if m.Kind == TextNode {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// TextLength returns the total number of bytes of text content in the
+// subtree.
+func (n *Node) TextLength() int {
+	total := 0
+	n.Walk(func(m *Node) bool {
+		if m.Kind == TextNode {
+			total += len(m.Value)
+		}
+		return true
+	})
+	return total
+}
+
+// MaxDepth returns the maximum element depth of the subtree, counting the
+// receiver as depth 1.
+func (n *Node) MaxDepth() int {
+	if n.Kind == TextNode {
+		return 0
+	}
+	max := 1
+	for _, c := range n.Children {
+		if c.Kind != ElementNode {
+			continue
+		}
+		if d := c.MaxDepth() + 1; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DistinctTags returns the sorted set of distinct element tags appearing in
+// the subtree (including the receiver's own tag).
+func (n *Node) DistinctTags() []string {
+	set := map[string]struct{}{}
+	n.Walk(func(m *Node) bool {
+		if m.Kind == ElementNode {
+			set[m.Name] = struct{}{}
+		}
+		return true
+	})
+	tags := make([]string, 0, len(set))
+	for t := range set {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// DescendantTags returns the set of element tags appearing strictly below
+// the receiver plus the receiver's own tag, matching the DescTag(e) metadata
+// of the Skip index (section 4.1 of the paper): "the set of tags that appear
+// in the subtree rooted by an element e".
+func (n *Node) DescendantTags() map[string]struct{} {
+	set := map[string]struct{}{}
+	n.Walk(func(m *Node) bool {
+		if m.Kind == ElementNode {
+			set[m.Name] = struct{}{}
+		}
+		return true
+	})
+	return set
+}
+
+// Events flattens the subtree into the SAX-like event stream the evaluator
+// consumes. startDepth is the depth assigned to the receiver (the document
+// root is conventionally 1).
+func (n *Node) Events(startDepth int) []Event {
+	var out []Event
+	n.appendEvents(&out, startDepth)
+	return out
+}
+
+func (n *Node) appendEvents(out *[]Event, depth int) {
+	if n.Kind == TextNode {
+		*out = append(*out, Event{Kind: Text, Value: n.Value, Depth: depth})
+		return
+	}
+	*out = append(*out, Event{Kind: Open, Name: n.Name, Depth: depth})
+	for _, c := range n.Children {
+		if c.Kind == TextNode {
+			*out = append(*out, Event{Kind: Text, Value: c.Value, Depth: depth})
+		} else {
+			c.appendEvents(out, depth+1)
+		}
+	}
+	*out = append(*out, Event{Kind: Close, Name: n.Name, Depth: depth})
+}
+
+// Clone returns a deep copy of the subtree.
+func (n *Node) Clone() *Node {
+	cp := &Node{Kind: n.Kind, Name: n.Name, Value: n.Value}
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return cp
+}
+
+// Equal reports whether two subtrees are structurally identical (same kinds,
+// names, values and child order).
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Kind != o.Kind || n.Name != o.Name || n.Value != o.Value || len(n.Children) != len(o.Children) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TreeReader adapts an in-memory tree to the EventReader interface. It is
+// mainly used by tests and by the brute-force (BF) strategy which parses the
+// whole document without the benefit of the Skip index.
+type TreeReader struct {
+	events []Event
+	pos    int
+}
+
+// NewTreeReader returns an EventReader over the given document tree.
+func NewTreeReader(root *Node) *TreeReader {
+	return &TreeReader{events: root.Events(1)}
+}
+
+// NewEventSliceReader returns an EventReader over a pre-built event slice.
+func NewEventSliceReader(events []Event) *TreeReader {
+	return &TreeReader{events: events}
+}
+
+// Next implements EventReader.
+func (r *TreeReader) Next() (Event, error) {
+	if r.pos >= len(r.events) {
+		return Event{}, ErrEndOfDocument
+	}
+	ev := r.events[r.pos]
+	r.pos++
+	return ev, nil
+}
+
+// SkipToClose implements Skipper by scanning forward to the Close event of
+// the element at the given depth. The returned byte count approximates the
+// serialized size of what was skipped (tags plus text).
+func (r *TreeReader) SkipToClose(depth int) (int64, error) {
+	var skipped int64
+	for r.pos < len(r.events) {
+		ev := r.events[r.pos]
+		if ev.Kind == Close && ev.Depth == depth {
+			return skipped, nil
+		}
+		switch ev.Kind {
+		case Open, Close:
+			skipped += int64(len(ev.Name) + 2)
+		case Text:
+			skipped += int64(len(ev.Value))
+		}
+		r.pos++
+	}
+	return skipped, ErrEndOfDocument
+}

@@ -1,0 +1,379 @@
+package xmlstream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParserSimpleDocument(t *testing.T) {
+	doc := `<a><b>hello</b><c/></a>`
+	p := ParseString(doc)
+	want := []Event{
+		{Kind: Open, Name: "a", Depth: 1},
+		{Kind: Open, Name: "b", Depth: 2},
+		{Kind: Text, Value: "hello", Depth: 2},
+		{Kind: Close, Name: "b", Depth: 2},
+		{Kind: Open, Name: "c", Depth: 2},
+		{Kind: Close, Name: "c", Depth: 2},
+		{Kind: Close, Name: "a", Depth: 1},
+	}
+	for i, w := range want {
+		got, err := p.Next()
+		if err != nil {
+			t.Fatalf("event %d: unexpected error %v", i, err)
+		}
+		if got != w {
+			t.Fatalf("event %d: got %v want %v", i, got, w)
+		}
+	}
+	if _, err := p.Next(); err != ErrEndOfDocument {
+		t.Fatalf("expected ErrEndOfDocument, got %v", err)
+	}
+}
+
+func TestParserAttributesAsElements(t *testing.T) {
+	doc := `<folder id="12" type='G3'>x</folder>`
+	p := ParseString(doc)
+	var got []Event
+	for {
+		ev, err := p.Next()
+		if err != nil {
+			break
+		}
+		got = append(got, ev)
+	}
+	want := []Event{
+		{Kind: Open, Name: "folder", Depth: 1},
+		{Kind: Open, Name: "@id", Depth: 2},
+		{Kind: Text, Value: "12", Depth: 2},
+		{Kind: Close, Name: "@id", Depth: 2},
+		{Kind: Open, Name: "@type", Depth: 2},
+		{Kind: Text, Value: "G3", Depth: 2},
+		{Kind: Close, Name: "@type", Depth: 2},
+		{Kind: Text, Value: "x", Depth: 1},
+		{Kind: Close, Name: "folder", Depth: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParserAttributesDisabled(t *testing.T) {
+	p := ParseString(`<a id="1"><b/></a>`)
+	p.AttributesAsElements = false
+	var names []string
+	for {
+		ev, err := p.Next()
+		if err != nil {
+			break
+		}
+		if ev.Kind == Open {
+			names = append(names, ev.Name)
+		}
+	}
+	if strings.Join(names, ",") != "a,b" {
+		t.Fatalf("unexpected open events: %v", names)
+	}
+}
+
+func TestParserSkipsCommentsPIAndDoctype(t *testing.T) {
+	doc := `<?xml version="1.0"?><!DOCTYPE a><a><!-- comment --><b>v</b></a>`
+	root, err := ParseTreeString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "a" || root.ChildText("b") != "v" {
+		t.Fatalf("unexpected tree: %s", SerializeTree(root, false))
+	}
+}
+
+func TestParserCDATA(t *testing.T) {
+	root, err := ParseTreeString(`<a><![CDATA[1 < 2 & 3]]></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Text() != "1 < 2 & 3" {
+		t.Fatalf("unexpected CDATA text %q", root.Text())
+	}
+}
+
+func TestParserEntityUnescape(t *testing.T) {
+	root, err := ParseTreeString(`<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Text() != `<x> & "y" 'z'` {
+		t.Fatalf("unexpected unescaped text %q", root.Text())
+	}
+}
+
+func TestParserMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"mismatched close", `<a><b></a></b>`},
+		{"unclosed element", `<a><b>`},
+		{"stray close", `</a>`},
+		{"empty name", `<><b/></>`},
+		{"multiple roots via tree", `<a/><b/>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTreeString(tc.doc)
+			if err == nil {
+				t.Fatalf("expected error for %q", tc.doc)
+			}
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrEndOfDocument) {
+				t.Fatalf("expected ErrMalformed, got %v", err)
+			}
+		})
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	root := NewElement("hospital",
+		NewElement("folder",
+			Elem("age", "52"),
+			NewElement("admin", Elem("name", "Alice & Bob"), Elem("ssn", "123")),
+			NewElement("acts", Elem("act", "<checkup>")),
+		),
+		NewElement("folder", Elem("age", "31")),
+	)
+	text := SerializeTree(root, false)
+	parsed, err := ParseTreeString(text)
+	if err != nil {
+		t.Fatalf("round trip parse failed: %v\n%s", err, text)
+	}
+	if !parsed.Equal(root) {
+		t.Fatalf("round trip mismatch:\noriginal: %s\nparsed:   %s",
+			SerializeTree(root, false), SerializeTree(parsed, false))
+	}
+}
+
+func TestSerializeIndented(t *testing.T) {
+	root := NewElement("a", Elem("b", "v"))
+	out := SerializeTree(root, true)
+	if !strings.Contains(out, "\n") || !strings.Contains(out, "  <b>") {
+		t.Fatalf("expected indented output, got %q", out)
+	}
+	parsed, err := ParseTreeString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Equal(root) {
+		t.Fatal("indented output does not round trip")
+	}
+}
+
+func TestTreeReaderSkipToClose(t *testing.T) {
+	root := NewElement("a",
+		NewElement("b", Elem("c", "1"), Elem("d", "2")),
+		Elem("e", "3"),
+	)
+	r := NewTreeReader(root)
+	// consume <a>, <b>
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	skipped, err := r.SkipToClose(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped <= 0 {
+		t.Fatalf("expected positive skipped byte count, got %d", skipped)
+	}
+	ev, err := r.Next()
+	if err != nil || ev.Kind != Close || ev.Name != "b" {
+		t.Fatalf("expected </b> after skip, got %v err %v", ev, err)
+	}
+	ev, err = r.Next()
+	if err != nil || ev.Kind != Open || ev.Name != "e" {
+		t.Fatalf("expected <e> after </b>, got %v err %v", ev, err)
+	}
+}
+
+func TestTreeBuilderRoundTrip(t *testing.T) {
+	root := NewElement("r", NewElement("x", Elem("y", "1")), Elem("z", "2"))
+	b := NewTreeBuilder()
+	for _, ev := range root.Events(1) {
+		if err := b.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(root) {
+		t.Fatal("tree builder round trip mismatch")
+	}
+}
+
+func TestTreeBuilderUnbalanced(t *testing.T) {
+	b := NewTreeBuilder()
+	_ = b.WriteEvent(Event{Kind: Open, Name: "a", Depth: 1})
+	if _, err := b.Root(); err == nil {
+		t.Fatal("expected error for unclosed element")
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	root := NewElement("folder",
+		NewElement("admin", Elem("name", "Al"), Elem("age", "40")),
+		NewElement("acts", NewElement("act", Elem("date", "2004"))),
+	)
+	if root.MaxDepth() != 4 {
+		t.Errorf("MaxDepth = %d, want 4", root.MaxDepth())
+	}
+	if root.CountElements() != 7 {
+		t.Errorf("CountElements = %d, want 7", root.CountElements())
+	}
+	if root.CountTextNodes() != 3 {
+		t.Errorf("CountTextNodes = %d, want 3", root.CountTextNodes())
+	}
+	if root.TextLength() != len("Al")+len("40")+len("2004") {
+		t.Errorf("TextLength = %d", root.TextLength())
+	}
+	if got := root.DistinctTags(); len(got) != 7 {
+		t.Errorf("DistinctTags = %v", got)
+	}
+	if root.Child("admin") == nil || root.Child("missing") != nil {
+		t.Error("Child lookup incorrect")
+	}
+	if root.Child("admin").ChildText("name") != "Al" {
+		t.Error("ChildText incorrect")
+	}
+	if root.IsLeaf() {
+		t.Error("root should not be a leaf")
+	}
+	if !root.Child("admin").Child("name").IsLeaf() {
+		t.Error("name should be a leaf")
+	}
+	clone := root.Clone()
+	if !clone.Equal(root) {
+		t.Error("clone not equal to original")
+	}
+	clone.Child("admin").Child("name").Children[0].Value = "changed"
+	if clone.Equal(root) {
+		t.Error("mutating the clone must not affect the original")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	root := NewElement("a", Elem("b", "xx"), NewElement("c", Elem("d", "yyy")))
+	st := ComputeStats(root)
+	if st.Elements != 4 {
+		t.Errorf("Elements = %d, want 4", st.Elements)
+	}
+	if st.TextNodes != 2 {
+		t.Errorf("TextNodes = %d, want 2", st.TextNodes)
+	}
+	if st.TextSize != 5 {
+		t.Errorf("TextSize = %d, want 5", st.TextSize)
+	}
+	if st.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d, want 3", st.MaxDepth)
+	}
+	if st.DistinctTags != 4 {
+		t.Errorf("DistinctTags = %d, want 4", st.DistinctTags)
+	}
+	if st.AvgDepth <= 1 || st.AvgDepth >= 3 {
+		t.Errorf("AvgDepth = %f out of range", st.AvgDepth)
+	}
+	if st.SerializedSize != int64(len(SerializeTree(root, false))) {
+		t.Error("SerializedSize mismatch")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Open.String() != "open" || Text.String() != "text" || Close.String() != "close" {
+		t.Fatal("EventKind.String mismatch")
+	}
+	if EventKind(42).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+// TestPropertyEscapeUnescape checks that Escape/unescape are inverse for
+// arbitrary strings.
+func TestPropertyEscapeUnescape(t *testing.T) {
+	f := func(s string) bool {
+		return unescape(Escape(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEventsBalanced checks that any generated tree produces a
+// balanced event stream that TreeBuilder accepts and reproduces.
+func TestPropertyEventsBalanced(t *testing.T) {
+	f := func(seed uint16, fanout uint8) bool {
+		root := randomTree(int(seed), int(fanout%4)+1, 3)
+		b := NewTreeBuilder()
+		depthCheck := 0
+		for _, ev := range root.Events(1) {
+			switch ev.Kind {
+			case Open:
+				depthCheck++
+				if ev.Depth != depthCheck {
+					return false
+				}
+			case Close:
+				if ev.Depth != depthCheck {
+					return false
+				}
+				depthCheck--
+			}
+			if err := b.WriteEvent(ev); err != nil {
+				return false
+			}
+		}
+		if depthCheck != 0 {
+			return false
+		}
+		got, err := b.Root()
+		return err == nil && got.Equal(root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomTree builds a deterministic pseudo-random tree used by property
+// tests. The generator is intentionally simple (LCG) to stay reproducible.
+func randomTree(seed, fanout, depth int) *Node {
+	state := uint32(seed*2654435761 + 1)
+	next := func(n int) int {
+		state = state*1664525 + 1013904223
+		return int(state>>16) % n
+	}
+	tags := []string{"a", "b", "c", "d", "e", "f"}
+	var build func(level int) *Node
+	build = func(level int) *Node {
+		n := NewElement(tags[next(len(tags))])
+		if level >= depth {
+			n.Children = append(n.Children, NewText("v"))
+			return n
+		}
+		kids := next(fanout + 1)
+		if kids == 0 {
+			n.Children = append(n.Children, NewText("leaf"))
+		}
+		for i := 0; i < kids; i++ {
+			n.Children = append(n.Children, build(level+1))
+		}
+		return n
+	}
+	return build(1)
+}

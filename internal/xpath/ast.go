@@ -1,0 +1,328 @@
+// Package xpath implements the XPath fragment XP{[],*,//} used by the paper
+// (section 2) to express both access-control rule objects and queries: node
+// tests, the child axis (/), the descendant axis (//), wildcards (*) and
+// predicates ([...]) with existence tests or comparisons against literals or
+// the USER variable.
+//
+// The package provides a lexer, a recursive-descent parser, an AST with a
+// canonical String form, and a conservative containment test used by the
+// static policy-minimization optimization sketched in section 3.3.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis is the relationship between consecutive steps of a path.
+type Axis int
+
+const (
+	// Child is the '/' axis.
+	Child Axis = iota
+	// Descendant is the '//' axis (descendant-or-self composed with child,
+	// as in standard XPath abbreviation).
+	Descendant
+)
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// CompareOp is the operator of a predicate comparison. OpExists denotes a
+// bare existence predicate such as [Protocol].
+type CompareOp int
+
+const (
+	OpExists CompareOp = iota
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (op CompareOp) String() string {
+	switch op {
+	case OpExists:
+		return ""
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", int(op))
+	}
+}
+
+// Literal is the right-hand side of a predicate comparison: a string, a
+// number, or the USER variable which is substituted with the subject
+// identity when the rule is instantiated for a user (e.g. rule D2 of the
+// motivating example: //MedActs[//RPhys = USER]).
+type Literal struct {
+	Raw      string
+	IsNumber bool
+	Number   float64
+	IsUser   bool
+}
+
+// NewStringLiteral builds a string literal.
+func NewStringLiteral(s string) Literal { return Literal{Raw: s} }
+
+// NewNumberLiteral builds a numeric literal.
+func NewNumberLiteral(f float64) Literal {
+	return Literal{Raw: strconv.FormatFloat(f, 'g', -1, 64), IsNumber: true, Number: f}
+}
+
+// UserLiteral is the USER variable.
+func UserLiteral() Literal { return Literal{Raw: "USER", IsUser: true} }
+
+// String renders the literal in its source form.
+func (l Literal) String() string {
+	if l.IsUser {
+		return "USER"
+	}
+	if l.IsNumber {
+		return strconv.FormatFloat(l.Number, 'g', -1, 64)
+	}
+	return l.Raw
+}
+
+// Predicate is one bracketed condition attached to a step. Path is the
+// relative path leading to the tested node(s); Op and Value are the optional
+// comparison. A predicate holds for an element if some node reachable via
+// Path satisfies the comparison (existential semantics, as in XPath).
+type Predicate struct {
+	Path  *Path
+	Op    CompareOp
+	Value Literal
+}
+
+// String renders the predicate in source form, without brackets.
+func (p *Predicate) String() string {
+	if p.Op == OpExists {
+		return p.relString()
+	}
+	return fmt.Sprintf("%s %s %s", p.relString(), p.Op, p.Value)
+}
+
+func (p *Predicate) relString() string {
+	s := p.Path.String()
+	// A relative predicate path is rendered without its leading '/'.
+	if len(p.Path.Steps) > 0 && p.Path.Steps[0].Axis == Child {
+		s = strings.TrimPrefix(s, "/")
+	}
+	return s
+}
+
+// Step is one location step: an axis, a node test (element name or "*") and
+// zero or more predicates.
+type Step struct {
+	Axis       Axis
+	Name       string // "*" for wildcard
+	Predicates []*Predicate
+}
+
+// IsWildcard reports whether the node test is '*'.
+func (s Step) IsWildcard() bool { return s.Name == "*" }
+
+// Matches reports whether the step's node test accepts the given element
+// name.
+func (s Step) Matches(name string) bool { return s.Name == "*" || s.Name == name }
+
+// String renders the step including its leading axis.
+func (s Step) String() string {
+	var sb strings.Builder
+	sb.WriteString(s.Axis.String())
+	sb.WriteString(s.Name)
+	for _, p := range s.Predicates {
+		sb.WriteString("[")
+		sb.WriteString(p.String())
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// Path is a parsed XPath expression of the fragment XP{[],*,//}.
+type Path struct {
+	Steps []Step
+}
+
+// String renders the path in canonical source form.
+func (p *Path) String() string {
+	var sb strings.Builder
+	for _, s := range p.Steps {
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// Depth returns the number of steps of the path.
+func (p *Path) Depth() int { return len(p.Steps) }
+
+// HasDescendantAxis reports whether any step (including inside predicates)
+// uses the descendant axis. The evaluator uses this to decide whether
+// several instances of the same rule can coexist (section 3.1, "rule
+// instances materialization").
+func (p *Path) HasDescendantAxis() bool {
+	for _, s := range p.Steps {
+		if s.Axis == Descendant {
+			return true
+		}
+		for _, pr := range s.Predicates {
+			if pr.Path.HasDescendantAxis() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasPredicates reports whether the path contains at least one predicate at
+// any depth.
+func (p *Path) HasPredicates() bool {
+	for _, s := range p.Steps {
+		if len(s.Predicates) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Labels returns the set of element names mentioned anywhere in the path,
+// including inside predicates and excluding wildcards. The Skip index uses
+// it to decide whether a rule can still apply inside a subtree (the
+// RemainingLabels test of section 4.2).
+func (p *Path) Labels() map[string]struct{} {
+	out := map[string]struct{}{}
+	p.addLabels(out)
+	return out
+}
+
+func (p *Path) addLabels(out map[string]struct{}) {
+	for _, s := range p.Steps {
+		if !s.IsWildcard() {
+			out[s.Name] = struct{}{}
+		}
+		for _, pr := range s.Predicates {
+			pr.Path.addLabels(out)
+		}
+	}
+}
+
+// StripPredicates returns a copy of the path with every predicate removed;
+// this is the navigational path of the rule's ARA.
+func (p *Path) StripPredicates() *Path {
+	steps := make([]Step, len(p.Steps))
+	for i, s := range p.Steps {
+		steps[i] = Step{Axis: s.Axis, Name: s.Name}
+	}
+	return &Path{Steps: steps}
+}
+
+// Clone returns a deep copy of the path.
+func (p *Path) Clone() *Path {
+	steps := make([]Step, len(p.Steps))
+	for i, s := range p.Steps {
+		ns := Step{Axis: s.Axis, Name: s.Name}
+		for _, pr := range s.Predicates {
+			ns.Predicates = append(ns.Predicates, &Predicate{
+				Path:  pr.Path.Clone(),
+				Op:    pr.Op,
+				Value: pr.Value,
+			})
+		}
+		steps[i] = ns
+	}
+	return &Path{Steps: steps}
+}
+
+// BindUser returns a copy of the path where every USER literal is replaced
+// by the given subject identity, turning a rule template into the rule
+// evaluated for one user.
+func (p *Path) BindUser(user string) *Path {
+	cp := p.Clone()
+	var bind func(path *Path)
+	bind = func(path *Path) {
+		for i := range path.Steps {
+			for _, pr := range path.Steps[i].Predicates {
+				if pr.Value.IsUser {
+					pr.Value = NewStringLiteral(user)
+				}
+				bind(pr.Path)
+			}
+		}
+	}
+	bind(cp)
+	return cp
+}
+
+// CompareText evaluates `text op value` where text is the textual content of
+// a candidate node. Numeric comparison is used when the literal is numeric
+// and the text parses as a number; otherwise string comparison applies.
+func CompareText(text string, op CompareOp, value Literal) bool {
+	if op == OpExists {
+		return true
+	}
+	if value.IsNumber {
+		if n, err := strconv.ParseFloat(strings.TrimSpace(text), 64); err == nil {
+			return compareFloat(n, op, value.Number)
+		}
+		// Non-numeric text never satisfies a numeric comparison except !=.
+		return op == OpNeq
+	}
+	return compareString(strings.TrimSpace(text), op, value.Raw)
+}
+
+func compareFloat(a float64, op CompareOp, b float64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNeq:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+func compareString(a string, op CompareOp, b string) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNeq:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	default:
+		return false
+	}
+}

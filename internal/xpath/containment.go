@@ -1,0 +1,144 @@
+package xpath
+
+// Containment of XPath expressions in XP{[],*,//} is co-NP complete
+// (Miklau & Suciu, cited as [MiS02] by the paper). Section 3.3 of the paper
+// only requires a *sufficient* condition: if the check says "contained" it
+// must be true, while false negatives merely lose an optimization
+// opportunity. We implement the classic canonical tree-pattern homomorphism
+// test, which is sound for the whole fragment (and complete for the
+// sub-fragments XP{[],/,//} and XP{/,//,*}).
+
+// Contains reports whether p contains q, i.e. every document node selected
+// by q is also selected by p, for every document. The test is conservative:
+// a true result is always correct, a false result is inconclusive.
+func Contains(p, q *Path) bool {
+	if p == nil || q == nil || len(p.Steps) == 0 || len(q.Steps) == 0 {
+		return false
+	}
+	return containsFrom(p.Steps, q.Steps)
+}
+
+// containsFrom checks whether the pattern ps (interpreted from the current
+// context node) subsumes the pattern qs. Both slices are "the remaining
+// steps to match downward".
+func containsFrom(ps, qs []Step) bool {
+	if len(ps) == 0 {
+		// p has fully matched; it selects the current node and, by rule
+		// propagation, everything q selects below is a descendant of a node
+		// p selects. For pure path containment we require q to be fully
+		// matched too.
+		return len(qs) == 0
+	}
+	if len(qs) == 0 {
+		return false
+	}
+	pStep, qStep := ps[0], qs[0]
+	// The node test of pStep must subsume qStep's node test.
+	if !nodeTestSubsumes(pStep, qStep) {
+		// If p's step is a descendant step it may match deeper inside q:
+		// q's first step consumes one document level without consuming
+		// pStep.
+		if pStep.Axis == Descendant {
+			return containsFrom(ps, qs[1:]) && axisAllowsSkip(qStep)
+		}
+		return false
+	}
+	// Predicates of pStep must each be implied by some predicate of qStep.
+	for _, pp := range pStep.Predicates {
+		if !predicateImplied(pp, qStep.Predicates) {
+			if pStep.Axis == Descendant && axisAllowsSkip(qStep) && containsFrom(ps, qs[1:]) {
+				return true
+			}
+			return false
+		}
+	}
+	// Axis compatibility: a Child step in p requires a Child step in q
+	// (p is more constrained about the level). A Descendant step in p can
+	// match q's step at this level or deeper.
+	switch pStep.Axis {
+	case Child:
+		if qStep.Axis != Child {
+			return false
+		}
+		return containsFrom(ps[1:], qs[1:])
+	default: // Descendant
+		// Either consume both steps here, or let q descend one more level.
+		if containsFrom(ps[1:], qs[1:]) {
+			return true
+		}
+		if axisAllowsSkip(qStep) {
+			return containsFrom(ps, qs[1:])
+		}
+		return false
+	}
+}
+
+// axisAllowsSkip reports whether skipping q's step while keeping p's
+// descendant step pending is sound. It is always sound: the skipped q step
+// constrains q further, and p's '//' can absorb any number of levels.
+func axisAllowsSkip(_ Step) bool { return true }
+
+// nodeTestSubsumes reports whether p's node test accepts every element
+// accepted by q's node test.
+func nodeTestSubsumes(p, q Step) bool {
+	if p.IsWildcard() {
+		return true
+	}
+	if q.IsWildcard() {
+		return false
+	}
+	return p.Name == q.Name
+}
+
+// predicateImplied reports whether predicate pp (from the container) is
+// implied by at least one predicate of the containee. We use a conservative
+// structural check: identical predicate path (same canonical string) and an
+// operator/value pair at least as restrictive.
+func predicateImplied(pp *Predicate, qPreds []*Predicate) bool {
+	for _, qp := range qPreds {
+		if pp.Path.String() != qp.Path.String() {
+			continue
+		}
+		if impliesComparison(qp, pp) {
+			return true
+		}
+	}
+	return false
+}
+
+// impliesComparison reports whether "x satisfies q" implies "x satisfies p"
+// for the comparisons of the two predicates over the same tested node.
+func impliesComparison(q, p *Predicate) bool {
+	// Anything implies bare existence.
+	if p.Op == OpExists {
+		return true
+	}
+	if q.Op == OpExists {
+		return false
+	}
+	// Identical comparisons trivially imply each other.
+	if q.Op == p.Op && q.Value.String() == p.Value.String() {
+		return true
+	}
+	// Numeric interval reasoning.
+	if q.Value.IsNumber && p.Value.IsNumber {
+		a, b := q.Value.Number, p.Value.Number
+		switch q.Op {
+		case OpEq:
+			return CompareText(q.Value.String(), p.Op, p.Value)
+		case OpGt:
+			return (p.Op == OpGt && b <= a) || (p.Op == OpGe && b <= a) || (p.Op == OpNeq && b <= a)
+		case OpGe:
+			return (p.Op == OpGe && b <= a) || (p.Op == OpGt && b < a)
+		case OpLt:
+			return (p.Op == OpLt && b >= a) || (p.Op == OpLe && b >= a) || (p.Op == OpNeq && b >= a)
+		case OpLe:
+			return (p.Op == OpLe && b >= a) || (p.Op == OpLt && b > a)
+		}
+	}
+	// String equality implies inequality against a different constant.
+	if q.Op == OpEq && p.Op == OpNeq && q.Value.String() != p.Value.String() {
+		return true
+	}
+	return false
+}

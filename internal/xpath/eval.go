@@ -1,0 +1,142 @@
+package xpath
+
+import (
+	"xmlac/internal/xmlstream"
+)
+
+// This file provides a straightforward in-memory (DOM) evaluator of the
+// XP{[],*,//} fragment. The streaming evaluator of internal/core never uses
+// it; it exists as a *reference semantics*: tests compare the streaming
+// result against this naive evaluator, and the LWB oracle of the SOE cost
+// model uses it to determine the exact set of authorized nodes.
+
+// Select returns the element nodes of the document matched by the absolute
+// path, in document order and without duplicates. The root of the document
+// corresponds to the first step of the path (i.e. /a matches a root element
+// named a, //a matches any element named a including the root).
+func Select(root *xmlstream.Node, path *Path) []*xmlstream.Node {
+	if root == nil || len(path.Steps) == 0 {
+		return nil
+	}
+	seen := map[*xmlstream.Node]struct{}{}
+	var out []*xmlstream.Node
+	// candidateRoots returns the elements against which the first step's
+	// node test must be applied: the document root for '/', every element
+	// for '//'.
+	first := path.Steps[0]
+	var candidates []*xmlstream.Node
+	if first.Axis == Child {
+		candidates = []*xmlstream.Node{root}
+	} else {
+		root.Walk(func(n *xmlstream.Node) bool {
+			if n.Kind == xmlstream.ElementNode {
+				candidates = append(candidates, n)
+			}
+			return true
+		})
+	}
+	for _, c := range candidates {
+		matchSteps(c, path.Steps, func(m *xmlstream.Node) {
+			if _, dup := seen[m]; !dup {
+				seen[m] = struct{}{}
+				out = append(out, m)
+			}
+		})
+	}
+	// Restore document order: Walk assigns order implicitly; collect by a
+	// final walk filtering membership.
+	if len(out) <= 1 {
+		return out
+	}
+	ordered := make([]*xmlstream.Node, 0, len(out))
+	root.Walk(func(n *xmlstream.Node) bool {
+		if _, ok := seen[n]; ok {
+			ordered = append(ordered, n)
+		}
+		return true
+	})
+	return ordered
+}
+
+// matchSteps checks that node satisfies steps[0]'s node test and predicates,
+// then recurses on the remaining steps over node's children (Child axis) or
+// all its descendants (Descendant axis). emit is called for every node
+// matched by the full path.
+func matchSteps(node *xmlstream.Node, steps []Step, emit func(*xmlstream.Node)) {
+	if node.Kind != xmlstream.ElementNode {
+		return
+	}
+	step := steps[0]
+	if !step.Matches(node.Name) {
+		return
+	}
+	for _, pred := range step.Predicates {
+		if !EvalPredicate(node, pred) {
+			return
+		}
+	}
+	rest := steps[1:]
+	if len(rest) == 0 {
+		emit(node)
+		return
+	}
+	next := rest[0]
+	if next.Axis == Child {
+		for _, c := range node.Children {
+			matchSteps(c, rest, emit)
+		}
+	} else {
+		// Descendant axis: apply to every proper descendant element.
+		for _, c := range node.Children {
+			c.Walk(func(d *xmlstream.Node) bool {
+				matchSteps(d, rest, emit)
+				return true
+			})
+		}
+	}
+}
+
+// EvalPredicate reports whether the predicate holds for the given context
+// element: some node reachable through the predicate's relative path has a
+// text value satisfying the comparison (or merely exists, for OpExists).
+func EvalPredicate(ctx *xmlstream.Node, pred *Predicate) bool {
+	targets := selectRelative(ctx, pred.Path.Steps)
+	for _, tgt := range targets {
+		if pred.Op == OpExists {
+			return true
+		}
+		if CompareText(tgt.Text(), pred.Op, pred.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectRelative evaluates a relative path against a context element and
+// returns the matched elements.
+func selectRelative(ctx *xmlstream.Node, steps []Step) []*xmlstream.Node {
+	if len(steps) == 0 {
+		return nil
+	}
+	var out []*xmlstream.Node
+	first := steps[0]
+	if first.Axis == Child {
+		for _, c := range ctx.Children {
+			matchSteps(c, steps, func(m *xmlstream.Node) { out = append(out, m) })
+		}
+	} else {
+		for _, c := range ctx.Children {
+			c.Walk(func(d *xmlstream.Node) bool {
+				matchSteps(d, steps, func(m *xmlstream.Node) { out = append(out, m) })
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// Matches reports whether the absolute path matches at least one node of the
+// document.
+func Matches(root *xmlstream.Node, path *Path) bool {
+	return len(Select(root, path)) > 0
+}

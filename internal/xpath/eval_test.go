@@ -1,0 +1,246 @@
+package xpath
+
+import (
+	"testing"
+
+	"xmlac/internal/xmlstream"
+)
+
+// abstractDoc builds the abstract document of Figure 3 of the paper:
+//
+//	a
+//	├── b
+//	│   ├── d  ├── c
+//	└── b
+//	    ├── d  ├── c  └── b
+//	               └── d ...
+func abstractDoc() *xmlstream.Node {
+	return xmlstream.NewElement("a",
+		xmlstream.NewElement("b",
+			xmlstream.Elem("d", "1"),
+			xmlstream.Elem("c", "x"),
+		),
+		xmlstream.NewElement("b",
+			xmlstream.Elem("d", "2"),
+			xmlstream.Elem("c", "y"),
+			xmlstream.NewElement("b",
+				xmlstream.Elem("d", "3"),
+				xmlstream.Elem("c", "z"),
+			),
+		),
+	)
+}
+
+func hospitalDoc() *xmlstream.Node {
+	folder := func(age string, rphys string, cholesterol string, protoType string) *xmlstream.Node {
+		f := xmlstream.NewElement("Folder",
+			xmlstream.NewElement("Admin",
+				xmlstream.Elem("Fname", "John"),
+				xmlstream.Elem("age", age),
+			),
+			xmlstream.NewElement("MedActs",
+				xmlstream.NewElement("Act",
+					xmlstream.Elem("RPhys", rphys),
+					xmlstream.NewElement("Details", xmlstream.Elem("Diagnostic", "flu")),
+				),
+			),
+			xmlstream.NewElement("Analysis",
+				xmlstream.NewElement("LabResults",
+					xmlstream.NewElement("G3", xmlstream.Elem("Cholesterol", cholesterol)),
+				),
+			),
+		)
+		if protoType != "" {
+			f.Children = append([]*xmlstream.Node{xmlstream.NewElement("Protocol", xmlstream.Elem("Type", protoType))}, f.Children...)
+		}
+		return f
+	}
+	return xmlstream.NewElement("Hospital",
+		folder("52", "DrA", "270", "G3"),
+		folder("31", "DrB", "180", ""),
+		folder("64", "DrA", "300", "G2"),
+	)
+}
+
+func names(nodes []*xmlstream.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+func TestSelectChildAndDescendant(t *testing.T) {
+	doc := abstractDoc()
+	if got := Select(doc, MustParse("/a/b")); len(got) != 2 {
+		t.Fatalf("/a/b matched %d nodes, want 2", len(got))
+	}
+	if got := Select(doc, MustParse("//b")); len(got) != 3 {
+		t.Fatalf("//b matched %d nodes, want 3", len(got))
+	}
+	if got := Select(doc, MustParse("//b/d")); len(got) != 3 {
+		t.Fatalf("//b/d matched %d nodes, want 3", len(got))
+	}
+	if got := Select(doc, MustParse("/a//c")); len(got) != 3 {
+		t.Fatalf("/a//c matched %d nodes, want 3", len(got))
+	}
+	if got := Select(doc, MustParse("/a/*")); len(got) != 2 {
+		t.Fatalf("/a/* matched %d, want 2", len(got))
+	}
+	if got := Select(doc, MustParse("//*")); len(got) != doc.CountElements() {
+		t.Fatalf("//* matched %d, want %d", len(got), doc.CountElements())
+	}
+	if got := Select(doc, MustParse("/b")); len(got) != 0 {
+		t.Fatalf("/b should not match the root, got %d", len(got))
+	}
+}
+
+func TestSelectWithPredicates(t *testing.T) {
+	doc := abstractDoc()
+	// //b[c]/d matches every d whose parent b has a c child: all three b's
+	// have a c child.
+	if got := Select(doc, MustParse("//b[c]/d")); len(got) != 3 {
+		t.Fatalf("//b[c]/d matched %d, want 3", len(got))
+	}
+	if got := Select(doc, MustParse("//b[d=3]/c")); len(got) != 1 {
+		t.Fatalf("//b[d=3]/c matched %d, want 1", len(got))
+	}
+	if got := Select(doc, MustParse("//b[d=99]/c")); len(got) != 0 {
+		t.Fatalf("//b[d=99]/c matched %d, want 0", len(got))
+	}
+	if got := Select(doc, MustParse("//b[c='y']")); len(got) != 1 {
+		t.Fatalf("//b[c='y'] matched %d, want 1", len(got))
+	}
+}
+
+func TestSelectHospitalRules(t *testing.T) {
+	doc := hospitalDoc()
+	// Secretary: //Admin -> 3 admin elements.
+	if got := Select(doc, MustParse("//Admin")); len(got) != 3 {
+		t.Fatalf("//Admin matched %d, want 3", len(got))
+	}
+	// Doctor DrA: //MedActs[//RPhys = USER] bound to DrA -> 2 folders.
+	rule := MustParse("//MedActs[//RPhys = USER]").BindUser("DrA")
+	if got := Select(doc, rule); len(got) != 2 {
+		t.Fatalf("MedActs for DrA matched %d, want 2", len(got))
+	}
+	// Researcher R1: //Folder[Protocol]//age -> the two folders carrying a
+	// protocol (types G3 and G2).
+	if got := Select(doc, MustParse("//Folder[Protocol]//age")); len(got) != 2 {
+		t.Fatalf("R1 matched %d, want 2", len(got))
+	}
+	// R2: //Folder[Protocol/Type=G3]//LabResults//G3.
+	if got := Select(doc, MustParse("//Folder[Protocol/Type=G3]//LabResults//G3")); len(got) != 1 {
+		t.Fatalf("R2 matched %d, want 1", len(got))
+	}
+	// R3 (negative in the policy, but Select is sign-agnostic):
+	// //G3[Cholesterol > 250] matches folders 1 and 3.
+	if got := Select(doc, MustParse("//G3[Cholesterol > 250]")); len(got) != 2 {
+		t.Fatalf("R3 matched %d, want 2", len(got))
+	}
+	// Nested predicate path with descendant axis.
+	if got := Select(doc, MustParse("//Folder[MedActs//RPhys = DrB]/Analysis")); len(got) != 1 {
+		t.Fatalf("D4-like rule matched %d, want 1", len(got))
+	}
+	if !Matches(doc, MustParse("//Protocol")) || Matches(doc, MustParse("//Missing")) {
+		t.Fatal("Matches incorrect")
+	}
+}
+
+func TestSelectDocumentOrderAndNoDuplicates(t *testing.T) {
+	doc := abstractDoc()
+	// //b//c could match the same c through several b ancestors; ensure no
+	// duplicates and document order.
+	got := Select(doc, MustParse("//b//c"))
+	if len(got) != 3 {
+		t.Fatalf("//b//c matched %d, want 3 (no duplicates)", len(got))
+	}
+	values := []string{got[0].Text(), got[1].Text(), got[2].Text()}
+	if values[0] != "x" || values[1] != "y" || values[2] != "z" {
+		t.Fatalf("results not in document order: %v", values)
+	}
+	if ns := names(got); ns[0] != "c" {
+		t.Fatalf("unexpected names %v", ns)
+	}
+}
+
+func TestEvalPredicateDirect(t *testing.T) {
+	doc := hospitalDoc()
+	folder := doc.Children[0]
+	pred := MustParse("/x[MedActs//RPhys = DrA]").Steps[0].Predicates[0]
+	if !EvalPredicate(folder, pred) {
+		t.Fatal("predicate should hold for folder 1")
+	}
+	pred2 := MustParse("/x[MedActs//RPhys = DrZ]").Steps[0].Predicates[0]
+	if EvalPredicate(folder, pred2) {
+		t.Fatal("predicate should not hold")
+	}
+}
+
+func TestContainment(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"//a", "/a", true},
+		{"//a", "//a", true},
+		{"//a", "/b/a", true},
+		{"//a", "//b//a", true},
+		{"/a", "//a", false},
+		{"//Folder", "//Folder[Protocol]", true},
+		{"//Folder[Protocol]", "//Folder", false},
+		{"//a/b", "//a/b", true},
+		{"/a/b", "/a//b", false},
+		{"/a//b", "/a/b", true},
+		{"/a//b", "/a/c/b", true},
+		{"//*", "//a", true},
+		{"//a", "//*", false},
+		{"//a[b>2]", "//a[b>5]", true},
+		{"//a[b>5]", "//a[b>2]", false},
+		{"//a[b=3]", "//a[b=3]", true},
+		{"//a[b]", "//a[b=3]", true},
+		{"//a[b=3]", "//a[b]", false},
+		{"//a/b", "//a/c", false},
+		{"//Folder/Admin", "//Folder/Admin", true},
+	}
+	for _, c := range cases {
+		got := Contains(MustParse(c.p), MustParse(c.q))
+		if got != c.want {
+			t.Errorf("Contains(%q, %q) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// TestContainmentSoundness: whenever Contains says p contains q, every node
+// selected by q in a battery of documents must also be selected by p.
+func TestContainmentSoundness(t *testing.T) {
+	docs := []*xmlstream.Node{abstractDoc(), hospitalDoc()}
+	exprs := []string{
+		"//a", "/a", "/a/b", "//b", "//b/d", "//b[c]/d", "//b[d=3]/c", "/a//c",
+		"//*", "/a/*", "//Folder", "//Folder[Protocol]", "//Folder/Admin",
+		"//Admin", "//G3[Cholesterol > 250]", "//G3[Cholesterol > 150]",
+		"//Folder//age", "//MedActs//RPhys",
+	}
+	paths := make([]*Path, len(exprs))
+	for i, e := range exprs {
+		paths[i] = MustParse(e)
+	}
+	for _, p := range paths {
+		for _, q := range paths {
+			if !Contains(p, q) {
+				continue
+			}
+			for _, doc := range docs {
+				pSel := map[*xmlstream.Node]struct{}{}
+				for _, n := range Select(doc, p) {
+					pSel[n] = struct{}{}
+				}
+				for _, n := range Select(doc, q) {
+					if _, ok := pSel[n]; !ok {
+						t.Errorf("unsound containment: Contains(%q,%q) but node <%s> selected only by q", p, q, n.Name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package xpath
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ErrSyntax wraps all parse errors.
+var ErrSyntax = errors.New("xpath: syntax error")
+
+// tokenKind enumerates lexer tokens.
+type tokenKind int
+
+const (
+	tokSlash       tokenKind = iota // /
+	tokDoubleSlash                  // //
+	tokName                         // element name or bare word value
+	tokStar                         // *
+	tokLBracket                     // [
+	tokRBracket                     // ]
+	tokOp                           // = != < <= > >=
+	tokString                       // quoted string
+	tokNumber                       // numeric literal
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '/':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '/' {
+			l.pos += 2
+			return token{kind: tokDoubleSlash, text: "//", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("%w: unexpected '!' at position %d", ErrSyntax, start)
+	case c == '<' || c == '>':
+		op := string(c)
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			op += "="
+			l.pos++
+		}
+		return token{kind: tokOp, text: op, pos: start}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		l.pos++
+		j := strings.IndexByte(l.input[l.pos:], quote)
+		if j < 0 {
+			return token{}, fmt.Errorf("%w: unterminated string literal at position %d", ErrSyntax, start)
+		}
+		text := l.input[l.pos : l.pos+j]
+		l.pos += j + 1
+		return token{kind: tokString, text: text, pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' || c == '.':
+		j := l.pos
+		for j < len(l.input) && (l.input[j] >= '0' && l.input[j] <= '9' || l.input[j] == '.' || l.input[j] == '-') {
+			j++
+		}
+		text := l.input[l.pos:j]
+		l.pos = j
+		return token{kind: tokNumber, text: text, pos: start}, nil
+	default:
+		if !isNameStart(c) {
+			return token{}, fmt.Errorf("%w: unexpected character %q at position %d", ErrSyntax, c, start)
+		}
+		j := l.pos
+		for j < len(l.input) && isNameChar(l.input[j]) {
+			j++
+		}
+		text := l.input[l.pos:j]
+		l.pos = j
+		return token{kind: tokName, text: text, pos: start}, nil
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == '@' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.'
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lex  *lexer
+	tok  token
+	err  error
+	expr string
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		return
+	}
+	p.tok = t
+}
+
+// Parse parses an XPath expression of the fragment XP{[],*,//}. The
+// expression must be absolute (start with / or //), which is how both access
+// rules and queries are written in the paper.
+func Parse(expr string) (*Path, error) {
+	p := &parser{lex: &lexer{input: expr}, expr: expr}
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokSlash && p.tok.kind != tokDoubleSlash {
+		return nil, fmt.Errorf("%w: expression %q must start with '/' or '//'", ErrSyntax, expr)
+	}
+	path, err := p.parsePath(true)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("%w: trailing input at position %d in %q", ErrSyntax, p.tok.pos, expr)
+	}
+	if len(path.Steps) == 0 {
+		return nil, fmt.Errorf("%w: empty path %q", ErrSyntax, expr)
+	}
+	return path, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and for the
+// built-in example policies.
+func MustParse(expr string) *Path {
+	p, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parsePath parses a sequence of steps. absolute indicates whether the
+// current token is the leading axis of an absolute path; for relative
+// predicate paths the first step may omit the leading '/'.
+func (p *parser) parsePath(absolute bool) (*Path, error) {
+	path := &Path{}
+	first := true
+	for {
+		var axis Axis
+		switch p.tok.kind {
+		case tokSlash:
+			axis = Child
+			p.advance()
+		case tokDoubleSlash:
+			axis = Descendant
+			p.advance()
+		default:
+			if first && !absolute && (p.tok.kind == tokName || p.tok.kind == tokStar) {
+				axis = Child
+			} else {
+				return path, nil
+			}
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		first = false
+	}
+}
+
+func (p *parser) parseStep(axis Axis) (Step, error) {
+	var name string
+	switch p.tok.kind {
+	case tokName:
+		name = p.tok.text
+	case tokStar:
+		name = "*"
+	default:
+		return Step{}, fmt.Errorf("%w: expected element name or '*' at position %d in %q", ErrSyntax, p.tok.pos, p.expr)
+	}
+	p.advance()
+	step := Step{Axis: axis, Name: name}
+	for p.tok.kind == tokLBracket {
+		p.advance()
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return Step{}, err
+		}
+		if p.tok.kind != tokRBracket {
+			return Step{}, fmt.Errorf("%w: expected ']' at position %d in %q", ErrSyntax, p.tok.pos, p.expr)
+		}
+		p.advance()
+		step.Predicates = append(step.Predicates, pred)
+	}
+	if p.err != nil {
+		return Step{}, p.err
+	}
+	return step, nil
+}
+
+func (p *parser) parsePredicate() (*Predicate, error) {
+	relPath, err := p.parsePath(false)
+	if err != nil {
+		return nil, err
+	}
+	if len(relPath.Steps) == 0 {
+		return nil, fmt.Errorf("%w: empty predicate path at position %d in %q", ErrSyntax, p.tok.pos, p.expr)
+	}
+	pred := &Predicate{Path: relPath, Op: OpExists}
+	if p.tok.kind == tokOp {
+		op, err := parseOp(p.tok.text)
+		if err != nil {
+			return nil, err
+		}
+		p.advance()
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		pred.Op = op
+		pred.Value = lit
+	}
+	return pred, nil
+}
+
+func parseOp(text string) (CompareOp, error) {
+	switch text {
+	case "=":
+		return OpEq, nil
+	case "!=":
+		return OpNeq, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	default:
+		return OpExists, fmt.Errorf("%w: unknown operator %q", ErrSyntax, text)
+	}
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		n, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("%w: bad number %q", ErrSyntax, p.tok.text)
+		}
+		p.advance()
+		return NewNumberLiteral(n), nil
+	case tokString:
+		s := p.tok.text
+		p.advance()
+		return NewStringLiteral(s), nil
+	case tokName:
+		// Bare words are accepted as string values (the paper writes
+		// [Protocol/Type=G3] and [RPhys = USER] without quotes). USER is the
+		// subject variable.
+		s := p.tok.text
+		p.advance()
+		if s == "USER" {
+			return UserLiteral(), nil
+		}
+		return NewStringLiteral(s), nil
+	default:
+		return Literal{}, fmt.Errorf("%w: expected literal at position %d in %q", ErrSyntax, p.tok.pos, p.expr)
+	}
+}

@@ -1,0 +1,268 @@
+package xpath
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMotivatingExampleRules(t *testing.T) {
+	// All rules of Figure 1 plus the abstract rules of Figures 3 and 7.
+	exprs := []string{
+		"//Admin",
+		"//Folder/Admin",
+		"//MedActs[//RPhys = USER]",
+		"//Act[RPhys != USER]/Details",
+		"//Folder[MedActs//RPhys = USER]/Analysis",
+		"//Folder[Protocol]//Age",
+		"//Folder[Protocol/Type=G3]//LabResults//G3",
+		"//G3[Cholesterol > 250]",
+		"//b[c]/d",
+		"//c",
+		"/a[d = 4]/c",
+		"//c/e[m=3]",
+		"//c[//i = 3]//f",
+		"//h[k = 2]",
+		"//Folder[//Age>25]",
+	}
+	for _, e := range exprs {
+		p, err := Parse(e)
+		if err != nil {
+			t.Errorf("Parse(%q) failed: %v", e, err)
+			continue
+		}
+		// Round trip: the canonical form must re-parse to the same canonical
+		// form.
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("re-Parse(%q) failed: %v", p.String(), err)
+			continue
+		}
+		if p.String() != p2.String() {
+			t.Errorf("canonical form not stable: %q -> %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	p := MustParse("//Folder[MedActs//RPhys = USER]/Analysis")
+	if len(p.Steps) != 2 {
+		t.Fatalf("expected 2 steps, got %d", len(p.Steps))
+	}
+	if p.Steps[0].Axis != Descendant || p.Steps[0].Name != "Folder" {
+		t.Fatalf("step 0 = %+v", p.Steps[0])
+	}
+	if p.Steps[1].Axis != Child || p.Steps[1].Name != "Analysis" {
+		t.Fatalf("step 1 = %+v", p.Steps[1])
+	}
+	if len(p.Steps[0].Predicates) != 1 {
+		t.Fatalf("expected 1 predicate")
+	}
+	pred := p.Steps[0].Predicates[0]
+	if pred.Op != OpEq || !pred.Value.IsUser {
+		t.Fatalf("predicate = %+v", pred)
+	}
+	if len(pred.Path.Steps) != 2 || pred.Path.Steps[0].Name != "MedActs" || pred.Path.Steps[1].Axis != Descendant {
+		t.Fatalf("predicate path = %+v", pred.Path)
+	}
+}
+
+func TestParseWildcardAndNumbers(t *testing.T) {
+	p := MustParse("/a/*[b >= 2.5]//c[x != 'y z']")
+	if !p.Steps[1].IsWildcard() {
+		t.Fatal("expected wildcard second step")
+	}
+	if p.Steps[1].Predicates[0].Op != OpGe || p.Steps[1].Predicates[0].Value.Number != 2.5 {
+		t.Fatalf("bad numeric predicate %+v", p.Steps[1].Predicates[0])
+	}
+	if p.Steps[2].Predicates[0].Value.Raw != "y z" {
+		t.Fatalf("bad string literal %+v", p.Steps[2].Predicates[0].Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Folder/Admin",  // must be absolute
+		"//",            // missing name
+		"/a[",           // unterminated predicate
+		"/a[b",          // missing ]
+		"/a[b=]",        // missing literal
+		"/a]b",          // trailing input
+		"/a[b!x]",       // bad operator
+		"/a['unclosed]", // unterminated string
+		"/a[b=2]extra",  // trailing garbage
+		"/a[ = 3]",      // missing predicate path
+		"/a/[b]",        // missing step name
+	}
+	for _, e := range bad {
+		if _, err := Parse(e); err == nil {
+			t.Errorf("Parse(%q) should fail", e)
+		} else if !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) error %v is not ErrSyntax", e, err)
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := MustParse("//Folder[Protocol/Type=G3]//LabResults/G3")
+	if !p.HasDescendantAxis() || !p.HasPredicates() {
+		t.Fatal("HasDescendantAxis/HasPredicates incorrect")
+	}
+	labels := p.Labels()
+	for _, want := range []string{"Folder", "Protocol", "Type", "LabResults", "G3"} {
+		if _, ok := labels[want]; !ok {
+			t.Errorf("missing label %q in %v", want, labels)
+		}
+	}
+	nav := p.StripPredicates()
+	if nav.HasPredicates() {
+		t.Fatal("StripPredicates left predicates behind")
+	}
+	if nav.String() != "//Folder//LabResults/G3" {
+		t.Fatalf("navigational path = %q", nav.String())
+	}
+	if MustParse("/a/b").HasDescendantAxis() {
+		t.Fatal("child-only path reported descendant axis")
+	}
+	if MustParse("/a[//x]/b").HasDescendantAxis() != true {
+		t.Fatal("descendant axis inside predicate not detected")
+	}
+}
+
+func TestBindUser(t *testing.T) {
+	p := MustParse("//MedActs[//RPhys = USER]")
+	bound := p.BindUser("DrWho")
+	pred := bound.Steps[0].Predicates[0]
+	if pred.Value.IsUser || pred.Value.Raw != "DrWho" {
+		t.Fatalf("BindUser did not substitute: %+v", pred.Value)
+	}
+	// The original must be untouched.
+	if !p.Steps[0].Predicates[0].Value.IsUser {
+		t.Fatal("BindUser mutated the original path")
+	}
+}
+
+func TestCompareText(t *testing.T) {
+	cases := []struct {
+		text string
+		op   CompareOp
+		lit  Literal
+		want bool
+	}{
+		{"250", OpGt, NewNumberLiteral(200), true},
+		{"199", OpGt, NewNumberLiteral(200), false},
+		{"200", OpGe, NewNumberLiteral(200), true},
+		{"200", OpLe, NewNumberLiteral(200), true},
+		{"150", OpLt, NewNumberLiteral(200), true},
+		{"abc", OpEq, NewStringLiteral("abc"), true},
+		{"abc", OpNeq, NewStringLiteral("abd"), true},
+		{"abc", OpGt, NewNumberLiteral(5), false},
+		{"abc", OpNeq, NewNumberLiteral(5), true},
+		{" 42 ", OpEq, NewNumberLiteral(42), true},
+		{"G3", OpEq, NewStringLiteral("G3"), true},
+		{"anything", OpExists, Literal{}, true},
+		{"b", OpLt, NewStringLiteral("c"), true},
+		{"d", OpGe, NewStringLiteral("c"), true},
+	}
+	for i, c := range cases {
+		if got := CompareText(c.text, c.op, c.lit); got != c.want {
+			t.Errorf("case %d: CompareText(%q,%v,%v) = %v want %v", i, c.text, c.op, c.lit, got, c.want)
+		}
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	if UserLiteral().String() != "USER" {
+		t.Fatal("UserLiteral string")
+	}
+	if NewNumberLiteral(250).String() != "250" {
+		t.Fatal("number literal string")
+	}
+	if NewStringLiteral("G3").String() != "G3" {
+		t.Fatal("string literal string")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[CompareOp]string{OpEq: "=", OpNeq: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpExists: ""}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d string = %q want %q", op, op.String(), want)
+		}
+	}
+	if Child.String() != "/" || Descendant.String() != "//" {
+		t.Fatal("axis string")
+	}
+}
+
+// TestPropertyCanonicalFormStable: for randomly generated paths of the
+// fragment, String() -> Parse() -> String() must be a fixed point.
+func TestPropertyCanonicalFormStable(t *testing.T) {
+	f := func(seed uint32) bool {
+		p := randomPath(int(seed), 4)
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		return p2.String() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCloneIndependent checks Clone deep-copies predicates.
+func TestPropertyCloneIndependent(t *testing.T) {
+	f := func(seed uint32) bool {
+		p := randomPath(int(seed), 3)
+		c := p.Clone()
+		if c.String() != p.String() {
+			return false
+		}
+		// Mutate the clone's first predicate if any and verify independence.
+		for i := range c.Steps {
+			if len(c.Steps[i].Predicates) > 0 {
+				c.Steps[i].Predicates[0].Value = NewStringLiteral("MUTATED")
+				return !strings.Contains(p.String(), "MUTATED")
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPath generates a deterministic pseudo-random path of the fragment.
+func randomPath(seed, maxSteps int) *Path {
+	state := uint32(seed)*2654435761 + 12345
+	next := func(n int) int {
+		state = state*1664525 + 1013904223
+		return int(state>>16) % n
+	}
+	names := []string{"a", "b", "c", "d", "Folder", "Admin", "G3", "*"}
+	nSteps := next(maxSteps) + 1
+	p := &Path{}
+	for i := 0; i < nSteps; i++ {
+		st := Step{Axis: Axis(next(2)), Name: names[next(len(names))]}
+		if next(3) == 0 {
+			pred := &Predicate{Path: &Path{Steps: []Step{{Axis: Axis(next(2)), Name: names[next(len(names)-1)]}}}}
+			switch next(3) {
+			case 0:
+				pred.Op = OpExists
+			case 1:
+				pred.Op = CompareOp(next(6) + 1)
+				pred.Value = NewNumberLiteral(float64(next(500)))
+			default:
+				pred.Op = OpEq
+				pred.Value = NewStringLiteral("v" + string(rune('a'+next(26))))
+			}
+			st.Predicates = append(st.Predicates, pred)
+		}
+		p.Steps = append(p.Steps, st)
+	}
+	return p
+}

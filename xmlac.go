@@ -1,0 +1,403 @@
+// Package xmlac is a client-based access-control manager for XML documents,
+// a from-scratch implementation of Bouganim, Dang Ngoc and Pucheral,
+// "Client-Based Access Control Management for XML documents" (VLDB 2004 /
+// INRIA RR-5282).
+//
+// The library lets a publisher compress (Skip index), encrypt and
+// integrity-protect an XML document once, and lets a client-side Secure
+// Operating Environment (SOE) evaluate dynamic, user-specific access-control
+// policies — and optionally a query — over the encrypted document in a
+// streaming fashion, delivering exactly the authorized view while skipping
+// (neither transferring nor decrypting) the prohibited parts.
+//
+// Typical flow:
+//
+//	doc, _ := xmlac.ParseDocumentString(xmlText)
+//	key := xmlac.DeriveKey("passphrase provisioned through a secure channel")
+//	protected, _ := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
+//
+//	policy := xmlac.Policy{
+//	    Subject: "DrA",
+//	    Rules: []xmlac.Rule{
+//	        {Sign: "+", Object: "//Folder/Admin"},
+//	        {Sign: "+", Object: "//MedActs[//RPhys = USER]"},
+//	        {Sign: "-", Object: "//Act[RPhys != USER]/Details"},
+//	    },
+//	}
+//	view, metrics, _ := protected.AuthorizedView(key, policy, xmlac.ViewOptions{})
+//	fmt.Println(view.XML())
+//	fmt.Printf("skipped %d bytes of prohibited data\n", metrics.BytesSkipped)
+//
+// The sub-packages under internal/ implement the building blocks (XPath
+// fragment, access rules automata, streaming evaluator, Skip index,
+// encryption and integrity layer, SOE cost model, dataset generators and the
+// experiment harness reproducing the paper's evaluation); this package is
+// the stable public API.
+package xmlac
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"xmlac/internal/accessrule"
+	"xmlac/internal/core"
+	"xmlac/internal/secure"
+	"xmlac/internal/skipindex"
+	"xmlac/internal/soe"
+	"xmlac/internal/xmlstream"
+	"xmlac/internal/xpath"
+)
+
+// Document is a parsed XML document.
+type Document struct {
+	root *xmlstream.Node
+}
+
+// ParseDocument parses an XML document from a reader.
+func ParseDocument(r io.Reader) (*Document, error) {
+	root, err := xmlstream.ParseTree(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{root: root}, nil
+}
+
+// ParseDocumentString parses an XML document held in a string.
+func ParseDocumentString(s string) (*Document, error) {
+	return ParseDocument(strings.NewReader(s))
+}
+
+// XML serializes the document (compact form).
+func (d *Document) XML() string {
+	if d == nil || d.root == nil {
+		return ""
+	}
+	return xmlstream.SerializeTree(d.root, false)
+}
+
+// IndentedXML serializes the document with indentation.
+func (d *Document) IndentedXML() string {
+	if d == nil || d.root == nil {
+		return ""
+	}
+	return xmlstream.SerializeTree(d.root, true)
+}
+
+// IsEmpty reports whether the document carries no content (an empty
+// authorized view).
+func (d *Document) IsEmpty() bool { return d == nil || d.root == nil }
+
+// Stats reports structural characteristics of the document (size, depth,
+// element and tag counts).
+type Stats = xmlstream.Stats
+
+// Stats computes the document statistics.
+func (d *Document) Stats() Stats {
+	if d.IsEmpty() {
+		return Stats{}
+	}
+	return xmlstream.ComputeStats(d.root)
+}
+
+// Rule is one access-control rule in its declarative form: Sign is "+"
+// (permit) or "-" (deny) and Object is an XPath expression of the fragment
+// XP{[],*,//} — child and descendant axes, wildcards and predicates. The
+// USER literal inside predicates is substituted with the policy subject.
+type Rule struct {
+	ID     string
+	Sign   string
+	Object string
+}
+
+// Policy is the set of rules granted to one subject over a document. The
+// policy is closed: anything not explicitly permitted is denied;
+// Denial-Takes-Precedence and Most-Specific-Object-Takes-Precedence resolve
+// conflicts, and rules propagate to the descendants of their objects.
+type Policy struct {
+	Subject string
+	Rules   []Rule
+}
+
+// ErrInvalidPolicy wraps policy compilation errors.
+var ErrInvalidPolicy = errors.New("xmlac: invalid policy")
+
+// compile converts the declarative policy into the internal representation.
+func (p Policy) compile() (*accessrule.Policy, error) {
+	out := accessrule.NewPolicy(p.Subject)
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("%w: a policy needs at least one rule (the closed policy denies everything)", ErrInvalidPolicy)
+	}
+	for i, r := range p.Rules {
+		id := r.ID
+		if id == "" {
+			id = fmt.Sprintf("R%d", i+1)
+		}
+		rule, err := accessrule.ParseRule(id, r.Sign, r.Object)
+		if err != nil {
+			return nil, fmt.Errorf("%w: rule %s: %v", ErrInvalidPolicy, id, err)
+		}
+		out.Add(rule)
+	}
+	return out, nil
+}
+
+// Validate checks that every rule of the policy parses.
+func (p Policy) Validate() error {
+	_, err := p.compile()
+	return err
+}
+
+// Built-in policies of the paper's motivating example (Figure 1), expressed
+// on the Hospital document schema.
+
+// SecretaryPolicy grants access to the administrative sub-folders only.
+func SecretaryPolicy() Policy {
+	return Policy{Subject: "secretary", Rules: []Rule{{ID: "S1", Sign: "+", Object: "//Admin"}}}
+}
+
+// DoctorPolicy grants a physician access to administrative data, to her own
+// medical acts and analysis, and denies the details of acts she did not
+// carry out.
+func DoctorPolicy(physician string) Policy {
+	return Policy{Subject: physician, Rules: []Rule{
+		{ID: "D1", Sign: "+", Object: "//Folder/Admin"},
+		{ID: "D2", Sign: "+", Object: "//MedActs[//RPhys = USER]"},
+		{ID: "D3", Sign: "-", Object: "//Act[RPhys != USER]/Details"},
+		{ID: "D4", Sign: "+", Object: "//Folder[MedActs//RPhys = USER]/Analysis"},
+	}}
+}
+
+// ResearcherPolicy grants access to the age and to the laboratory results of
+// the given protocol groups, for patients enrolled in a protocol, unless the
+// cholesterol measurement exceeds 250.
+func ResearcherPolicy(groups ...string) Policy {
+	if len(groups) == 0 {
+		groups = []string{"G3"}
+	}
+	p := Policy{Subject: "researcher", Rules: []Rule{
+		{ID: "R1", Sign: "+", Object: "//Folder[Protocol]//Age"},
+	}}
+	for i, g := range groups {
+		p.Rules = append(p.Rules,
+			Rule{ID: fmt.Sprintf("R2.%d", i+1), Sign: "+", Object: fmt.Sprintf("//Folder[Protocol/Type=%s]//LabResults//%s", g, g)},
+			Rule{ID: fmt.Sprintf("R3.%d", i+1), Sign: "-", Object: fmt.Sprintf("//%s[Cholesterol > 250]", g)},
+		)
+	}
+	return p
+}
+
+// Key is the Triple-DES document key (24 bytes).
+type Key = secure.Key
+
+// DeriveKey derives a document key from a passphrase.
+func DeriveKey(passphrase string) Key { return secure.DeriveKey(passphrase) }
+
+// NewKey validates an explicit 24-byte key.
+func NewKey(b []byte) (Key, error) { return secure.NewKey(b) }
+
+// Scheme selects the encryption / integrity-checking combination.
+type Scheme string
+
+const (
+	// SchemeECB: position-aware ECB encryption, no integrity checking.
+	SchemeECB Scheme = "ecb"
+	// SchemeECBMHT: position-aware ECB encryption with per-chunk Merkle hash
+	// trees — the scheme proposed by the paper, supporting random accesses.
+	SchemeECBMHT Scheme = "ecb-mht"
+	// SchemeCBCSHA and SchemeCBCSHAC are the comparison schemes of the
+	// paper's evaluation.
+	SchemeCBCSHA  Scheme = "cbc-sha"
+	SchemeCBCSHAC Scheme = "cbc-shac"
+)
+
+// ParseScheme converts a scheme name.
+func ParseScheme(s string) (Scheme, error) {
+	switch Scheme(strings.ToLower(s)) {
+	case SchemeECB, SchemeECBMHT, SchemeCBCSHA, SchemeCBCSHAC:
+		return Scheme(strings.ToLower(s)), nil
+	default:
+		return "", fmt.Errorf("xmlac: unknown scheme %q (want ecb, ecb-mht, cbc-sha or cbc-shac)", s)
+	}
+}
+
+func (s Scheme) internal() (secure.Scheme, error) {
+	switch s {
+	case SchemeECB:
+		return secure.SchemeECB, nil
+	case SchemeECBMHT, "":
+		return secure.SchemeECBMHT, nil
+	case SchemeCBCSHA:
+		return secure.SchemeCBCSHA, nil
+	case SchemeCBCSHAC:
+		return secure.SchemeCBCSHAC, nil
+	default:
+		return 0, fmt.Errorf("xmlac: unknown scheme %q", string(s))
+	}
+}
+
+// Protected is a compressed, indexed, encrypted and integrity-protected
+// document, ready to be stored on an untrusted server or streamed to
+// clients.
+type Protected struct {
+	prot *secure.Protected
+}
+
+// Protect compresses the document with the Skip index, encrypts it under the
+// key and protects its integrity according to the scheme.
+func Protect(doc *Document, key Key, scheme Scheme) (*Protected, error) {
+	if doc.IsEmpty() {
+		return nil, errors.New("xmlac: cannot protect an empty document")
+	}
+	sch, err := scheme.internal()
+	if err != nil {
+		return nil, err
+	}
+	encoded, err := skipindex.Encode(doc.root)
+	if err != nil {
+		return nil, err
+	}
+	prot, err := secure.Protect(encoded.Data, key, secure.ProtectOptions{Scheme: sch})
+	if err != nil {
+		return nil, err
+	}
+	return &Protected{prot: prot}, nil
+}
+
+// Marshal serializes the protected document for storage or transmission.
+func (p *Protected) Marshal() []byte { return p.prot.Marshal() }
+
+// UnmarshalProtected parses a serialized protected document.
+func UnmarshalProtected(data []byte) (*Protected, error) {
+	prot, err := secure.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Protected{prot: prot}, nil
+}
+
+// Size returns the size in bytes of the encrypted document.
+func (p *Protected) Size() int { return len(p.prot.Ciphertext) }
+
+// ViewOptions tunes the evaluation of an authorized view.
+type ViewOptions struct {
+	// Query restricts the view to the scope of an XPath query (same fragment
+	// as the rules); empty means the whole authorized view.
+	Query string
+	// DummyDeniedNames replaces the names of denied structural ancestors
+	// with "_".
+	DummyDeniedNames bool
+	// DisableSkipIndex ignores the Skip-index metadata (the brute-force
+	// behaviour); mainly useful for measurements.
+	DisableSkipIndex bool
+}
+
+// Metrics summarizes what an evaluation did. Byte counts refer to the
+// compressed encrypted document.
+type Metrics struct {
+	// BytesTransferred entered the SOE (ciphertext, digests, hashes).
+	BytesTransferred int64
+	// BytesDecrypted inside the SOE.
+	BytesDecrypted int64
+	// BytesSkipped were neither transferred nor decrypted thanks to the Skip
+	// index.
+	BytesSkipped int64
+	// SubtreesSkipped counts skipped prohibited subtrees.
+	SubtreesSkipped int64
+	// NodesPermitted / NodesDenied / NodesPending count element decisions.
+	NodesPermitted int64
+	NodesDenied    int64
+	NodesPending   int64
+	// EstimatedSmartCardSeconds is the execution-time estimate on the
+	// hardware smart-card profile of the paper (Table 1).
+	EstimatedSmartCardSeconds float64
+}
+
+// AuthorizedView decrypts and evaluates the policy (and optional query) over
+// the protected document inside a simulated SOE, returning the authorized
+// view. Prohibited subtrees are skipped: they are neither transferred to nor
+// decrypted by the SOE, and integrity of everything read is verified when
+// the scheme supports it.
+func (p *Protected) AuthorizedView(key Key, policy Policy, opts ViewOptions) (*Document, *Metrics, error) {
+	compiled, err := policy.compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	coreOpts, err := opts.coreOptions()
+	if err != nil {
+		return nil, nil, err
+	}
+	reader, err := secure.NewReader(p.prot, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	decoder, err := skipindex.NewDecoder(reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.Evaluate(decoder, compiled, coreOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	costs := reader.Costs()
+	profile := soe.HardwareSmartCard()
+	breakdown := profile.Breakdown(costs.BytesTransferred, costs.BytesDecrypted, costs.BytesHashed,
+		res.Metrics.TokenOps+res.Metrics.Events)
+	metrics := &Metrics{
+		BytesTransferred:          costs.BytesTransferred,
+		BytesDecrypted:            costs.BytesDecrypted,
+		BytesSkipped:              decoder.BytesSkipped(),
+		SubtreesSkipped:           res.Metrics.SubtreesSkipped,
+		NodesPermitted:            res.Metrics.NodesPermitted,
+		NodesDenied:               res.Metrics.NodesDenied,
+		NodesPending:              res.Metrics.NodesPending,
+		EstimatedSmartCardSeconds: breakdown.Total(),
+	}
+	return &Document{root: res.View}, metrics, nil
+}
+
+// EvaluateDocument evaluates the policy (and optional query) over a
+// plaintext document with the streaming evaluator, without encryption. It is
+// the right entry point when the access-control manager runs in a trusted
+// environment, and is also the semantics reference of AuthorizedView.
+func EvaluateDocument(doc *Document, policy Policy, opts ViewOptions) (*Document, error) {
+	if doc.IsEmpty() {
+		return &Document{}, nil
+	}
+	compiled, err := policy.compile()
+	if err != nil {
+		return nil, err
+	}
+	coreOpts, err := opts.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Evaluate(xmlstream.NewTreeReader(doc.root), compiled, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{root: res.View}, nil
+}
+
+func (o ViewOptions) coreOptions() (core.Options, error) {
+	out := core.Options{
+		DummyDeniedNames: o.DummyDeniedNames,
+		DisableSkipIndex: o.DisableSkipIndex,
+	}
+	if o.Query != "" {
+		q, err := xpath.Parse(o.Query)
+		if err != nil {
+			return core.Options{}, fmt.Errorf("xmlac: invalid query: %w", err)
+		}
+		out.Query = q
+	}
+	return out, nil
+}
+
+// ValidateXPath checks that an expression belongs to the supported fragment
+// XP{[],*,//}.
+func ValidateXPath(expr string) error {
+	_, err := xpath.Parse(expr)
+	return err
+}
