@@ -316,6 +316,68 @@ func BenchmarkPublicAPIAuthorizedView(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentAuthorizedViews is the server scenario: N goroutines
+// stream authorized views for M distinct subjects over one protected
+// hospital document. "per-request-compile" re-parses every rule on every
+// call (the pre-CompiledPolicy behaviour of AuthorizedView);
+// "compiled-cached" compiles each subject's policy once and reuses it, the
+// way internal/server's policy cache does. The delta is the compilation
+// work the cache removes from the hot path.
+func BenchmarkConcurrentAuthorizedViews(b *testing.B) {
+	root := dataset.HospitalFolders(4, 42)
+	doc, err := ParseDocumentString(xmlstream.SerializeTree(root, false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := DeriveKey("bench")
+	prot, err := Protect(doc, key, SchemeECBMHT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 32 distinct subjects with rule-heavy researcher policies (21 rules
+	// each): the repeated-subject case a server cache serves.
+	const subjects = 32
+	policies := make([]Policy, subjects)
+	compiled := make([]*CompiledPolicy, subjects)
+	groups := accessrule.ResearcherGroups(10)
+	for i := range policies {
+		p := ResearcherPolicy(groups...)
+		p.Subject = fmt.Sprintf("researcher-%02d", i)
+		policies[i] = p
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		compiled[i] = cp
+	}
+	run := func(b *testing.B, view func(i int) error) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if err := view(i); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "views/s")
+	}
+	b.Run("per-request-compile", func(b *testing.B) {
+		run(b, func(i int) error {
+			_, _, err := prot.AuthorizedView(key, policies[i%subjects], ViewOptions{})
+			return err
+		})
+	})
+	b.Run("compiled-cached", func(b *testing.B) {
+		run(b, func(i int) error {
+			_, _, err := prot.AuthorizedViewCompiled(key, compiled[i%subjects], ViewOptions{})
+			return err
+		})
+	})
+}
+
 // BenchmarkXPathParse measures rule compilation (parsing + ARA
 // construction), which happens once per (document, user) session.
 func BenchmarkXPathParse(b *testing.B) {

@@ -1,0 +1,129 @@
+package xmlac
+
+import (
+	"sync"
+
+	"xmlac/internal/core"
+	"xmlac/internal/secure"
+	"xmlac/internal/skipindex"
+	"xmlac/internal/soe"
+)
+
+// CompiledPolicy is a policy compiled once to its Access Rules Automata,
+// ready to be evaluated many times. Compiling a policy (XPath parsing and
+// automata construction) is pure per-subject session work: doing it on every
+// AuthorizedView call wastes time and allocations when the same subject reads
+// many documents or re-reads the same document, which is the common case for
+// a server streaming authorized views to a fleet of clients.
+//
+// A CompiledPolicy is immutable and safe for concurrent use by any number of
+// goroutines; a server can keep one per (document, subject, policy version)
+// in a cache (see internal/server) and share it across requests.
+type CompiledPolicy struct {
+	subject string
+	hash    string
+	rules   int
+	core    *core.CompiledPolicy
+}
+
+// Compile validates the policy and compiles every rule to its automaton. The
+// returned CompiledPolicy evaluates exactly like the declarative policy (see
+// Protected.AuthorizedViewCompiled) but skips rule parsing and automata
+// construction on every subsequent evaluation.
+func (p Policy) Compile() (*CompiledPolicy, error) {
+	internal, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledPolicy{
+		subject: p.Subject,
+		hash:    internal.Fingerprint(),
+		rules:   len(internal.Rules),
+		core:    core.CompilePolicy(internal),
+	}, nil
+}
+
+// Fingerprint returns the stable content hash of the policy (subject and
+// rules), without keeping the compiled form. Two policies with the same
+// subject and the same rules in the same order share a fingerprint across
+// processes; caches key compiled policies on it.
+func (p Policy) Fingerprint() (string, error) {
+	internal, err := p.compile()
+	if err != nil {
+		return "", err
+	}
+	return internal.Fingerprint(), nil
+}
+
+// Subject returns the subject the policy was compiled for.
+func (cp *CompiledPolicy) Subject() string { return cp.subject }
+
+// Hash returns the stable content hash of the source policy; it equals
+// Policy.Fingerprint of the policy it was compiled from.
+func (cp *CompiledPolicy) Hash() string { return cp.hash }
+
+// NumRules returns the number of compiled rules.
+func (cp *CompiledPolicy) NumRules() int { return cp.rules }
+
+// evalState bundles the per-request evaluation machinery (secure reader and
+// streaming evaluator) whose internal tables are reused across requests
+// through a sync.Pool: concurrent AuthorizedView calls do not re-allocate the
+// reader caches and evaluator maps, they only reset them.
+type evalState struct {
+	reader *secure.Reader
+	eval   *core.Evaluator
+}
+
+var evalPool = sync.Pool{New: func() any { return &evalState{} }}
+
+// AuthorizedViewCompiled is AuthorizedView for a pre-compiled policy: the
+// compile-once / evaluate-many fast path. It produces byte-identical views
+// and identical metrics to AuthorizedView with the source policy.
+func (p *Protected) AuthorizedViewCompiled(key Key, cp *CompiledPolicy, opts ViewOptions) (*Document, *Metrics, error) {
+	coreOpts, err := opts.coreOptions()
+	if err != nil {
+		return nil, nil, err
+	}
+	st := evalPool.Get().(*evalState)
+	defer evalPool.Put(st)
+	if st.reader == nil {
+		st.reader, err = secure.NewReader(p.prot, key)
+	} else {
+		err = st.reader.Reset(p.prot, key)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	decoder, err := skipindex.NewDecoder(st.reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.eval == nil {
+		st.eval = core.NewCompiledEvaluator(decoder, cp.core, coreOpts)
+	} else {
+		st.eval.Reset(decoder, cp.core, coreOpts)
+	}
+	res, err := st.eval.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Document{root: res.View}, buildMetrics(st.reader.Costs(), decoder.BytesSkipped(), res), nil
+}
+
+// buildMetrics folds the secure-reader costs and the evaluator metrics into
+// the public Metrics record, including the smart-card execution estimate.
+func buildMetrics(costs secure.Costs, bytesSkipped int64, res *core.Result) *Metrics {
+	profile := soe.HardwareSmartCard()
+	breakdown := profile.Breakdown(costs.BytesTransferred, costs.BytesDecrypted, costs.BytesHashed,
+		res.Metrics.TokenOps+res.Metrics.Events)
+	return &Metrics{
+		BytesTransferred:          costs.BytesTransferred,
+		BytesDecrypted:            costs.BytesDecrypted,
+		BytesSkipped:              bytesSkipped,
+		SubtreesSkipped:           res.Metrics.SubtreesSkipped,
+		NodesPermitted:            res.Metrics.NodesPermitted,
+		NodesDenied:               res.Metrics.NodesDenied,
+		NodesPending:              res.Metrics.NodesPending,
+		EstimatedSmartCardSeconds: breakdown.Total(),
+	}
+}

@@ -1,0 +1,168 @@
+package xmlac
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The parental-control guide of examples/parentalcontrol, inlined so the
+// parity tests cover a second document shape (attribute-free programme
+// guide) besides the hospital documents.
+const sampleGuide = `<guide>
+  <channel><program><title>Cartoon Morning</title><rating>all</rating></program>
+    <program><title>Midnight Thriller</title><rating>18</rating></program></channel>
+  <billing><card>4970-xxxx-xxxx-1234</card></billing>
+</guide>`
+
+// parentalPolicy is the teenager policy of the parental-control example.
+func parentalPolicy() Policy {
+	return Policy{Subject: "teen", Rules: []Rule{
+		{Sign: "+", Object: "//channel"},
+		{Sign: "-", Object: "//program[rating=18]"},
+		{Sign: "-", Object: "//billing"},
+	}}
+}
+
+// TestCompiledPolicyParity asserts the compile-once/evaluate-many contract:
+// AuthorizedViewCompiled produces byte-identical views and identical metrics
+// to the declarative AuthorizedView path, across the hospital,
+// parental-control and researcher policies, and across repeated evaluations
+// of the same CompiledPolicy.
+func TestCompiledPolicyParity(t *testing.T) {
+	cases := []struct {
+		name   string
+		xml    string
+		policy Policy
+		opts   ViewOptions
+	}{
+		{"hospital-doctor", sampleHospital, DoctorPolicy("DrA"), ViewOptions{}},
+		{"hospital-secretary", sampleHospital, SecretaryPolicy(), ViewOptions{}},
+		{"hospital-researcher", sampleHospital, ResearcherPolicy("G3"), ViewOptions{}},
+		{"hospital-doctor-query", sampleHospital, DoctorPolicy("DrA"), ViewOptions{Query: "//Folder[Admin/Age > 40]"}},
+		{"parental-teen", sampleGuide, parentalPolicy(), ViewOptions{}},
+		{"parental-teen-dummy", sampleGuide, parentalPolicy(), ViewOptions{DummyDeniedNames: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc, err := ParseDocumentString(tc.xml)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := DeriveKey("parity")
+			prot, err := Protect(doc, key, SchemeECBMHT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantView, wantMetrics, err := prot.AuthorizedView(key, tc.policy, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := tc.policy.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp.Subject() != tc.policy.Subject || cp.NumRules() != len(tc.policy.Rules) {
+				t.Fatalf("compiled policy header wrong: subject=%q rules=%d", cp.Subject(), cp.NumRules())
+			}
+			// Evaluate the same compiled policy several times: reuse must not
+			// leak state between runs.
+			for i := 0; i < 3; i++ {
+				gotView, gotMetrics, err := prot.AuthorizedViewCompiled(key, cp, tc.opts)
+				if err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+				if gotView.XML() != wantView.XML() {
+					t.Fatalf("run %d: compiled view differs:\n got %s\nwant %s", i, gotView.XML(), wantView.XML())
+				}
+				if *gotMetrics != *wantMetrics {
+					t.Fatalf("run %d: metrics differ:\n got %+v\nwant %+v", i, gotMetrics, wantMetrics)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledPolicyConcurrentReuse shares one CompiledPolicy across many
+// goroutines evaluating concurrently (the server's usage pattern); run under
+// -race this pins down the immutability of the compiled automata.
+func TestCompiledPolicyConcurrentReuse(t *testing.T) {
+	doc, err := ParseDocumentString(sampleHospital)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := DeriveKey("parity")
+	prot, err := Protect(doc, key, SchemeECBMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := DoctorPolicy("DrA").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := prot.AuthorizedViewCompiled(key, cp, ViewOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got, _, err := prot.AuthorizedViewCompiled(key, cp, ViewOptions{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got.XML() != want.XML() {
+					errCh <- errMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = errorString("concurrent compiled evaluation produced a different view")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestPolicyFingerprint(t *testing.T) {
+	a, err := DoctorPolicy("DrA").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DoctorPolicy("DrA").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || len(a) != 64 {
+		t.Fatalf("fingerprint not stable: %q vs %q", a, b)
+	}
+	c, _ := DoctorPolicy("DrB").Fingerprint()
+	if c == a {
+		t.Fatal("different subjects must fingerprint differently")
+	}
+	cp, err := DoctorPolicy("DrA").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Hash() != a {
+		t.Fatalf("CompiledPolicy.Hash %q != Fingerprint %q", cp.Hash(), a)
+	}
+	if _, err := (Policy{Subject: "x"}).Compile(); err == nil {
+		t.Fatal("empty policy must not compile")
+	}
+	if !strings.Contains(ErrInvalidPolicy.Error(), "invalid policy") {
+		t.Fatal("sentinel error text changed")
+	}
+}

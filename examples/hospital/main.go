@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"xmlac"
 	"xmlac/internal/dataset"
@@ -15,21 +17,27 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Generate a small hospital document (the xmlac-datagen command produces
 	// larger ones).
 	root := dataset.HospitalFolders(40, 2026)
 	doc, err := xmlac.ParseDocumentString(xmlstream.SerializeTree(root, false))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	stats := doc.Stats()
-	fmt.Printf("hospital document: %d folders, %d elements, %d bytes\n\n",
+	fmt.Fprintf(w, "hospital document: %d folders, %d elements, %d bytes\n\n",
 		40, stats.Elements, stats.SerializedSize)
 
 	key := xmlac.DeriveKey("hospital master key")
 	protected, err := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	profiles := []struct {
@@ -44,10 +52,10 @@ func main() {
 	for _, p := range profiles {
 		view, metrics, err := protected.AuthorizedView(key, p.policy, xmlac.ViewOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		viewSize := len(view.XML())
-		fmt.Printf("%-32s view %7d B | transferred %7d B | skipped %7d B | est. smart card %.2fs\n",
+		fmt.Fprintf(w, "%-32s view %7d B | transferred %7d B | skipped %7d B | est. smart card %.2fs\n",
 			p.name, viewSize, metrics.BytesTransferred, metrics.BytesSkipped, metrics.EstimatedSmartCardSeconds)
 	}
 
@@ -57,7 +65,8 @@ func main() {
 		Query: "//Folder[Admin/Age > 70]",
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\ndoctor DrA, query //Folder[Admin/Age > 70]: %d bytes of result\n", len(view.XML()))
+	fmt.Fprintf(w, "\ndoctor DrA, query //Folder[Admin/Age > 70]: %d bytes of result\n", len(view.XML()))
+	return nil
 }

@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"xmlac"
 )
@@ -44,14 +46,20 @@ const guide = `
 </guide>`
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	doc, err := xmlac.ParseDocumentString(guide)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	key := xmlac.DeriveKey("set-top-box provisioning key")
 	protected, err := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The youngest child: only programmes rated "all", and obviously no
@@ -81,9 +89,10 @@ func main() {
 	for _, p := range []xmlac.Policy{young, teen, parent} {
 		view, metrics, err := protected.AuthorizedView(key, p, xmlac.ViewOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("=== view for %s (skipped %d prohibited subtrees) ===\n%s\n",
+		fmt.Fprintf(w, "=== view for %s (skipped %d prohibited subtrees) ===\n%s\n",
 			p.Subject, metrics.SubtreesSkipped, view.IndentedXML())
 	}
+	return nil
 }

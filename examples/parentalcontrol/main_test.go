@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the parental-control example: the children must never
+// see the 18-rated programme or the billing data, the parent sees both.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	idxTeen := strings.Index(out, "view for lucas")
+	idxParent := strings.Index(out, "view for parent")
+	if idxTeen < 0 || idxParent < 0 {
+		t.Fatalf("missing views:\n%s", out)
+	}
+	children := out[:idxParent]
+	parent := out[idxParent:]
+	if strings.Contains(children, "Midnight Thriller") || strings.Contains(children, "4970") {
+		t.Fatalf("child views leak restricted content:\n%s", children)
+	}
+	if !strings.Contains(parent, "Midnight Thriller") || !strings.Contains(parent, "4970") {
+		t.Fatalf("parent view incomplete:\n%s", parent)
+	}
+	if !strings.Contains(out[:idxTeen], "Cartoon Morning") {
+		t.Fatalf("young child lost permitted programme:\n%s", out[:idxTeen])
+	}
+}

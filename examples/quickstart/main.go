@@ -5,7 +5,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"xmlac"
 )
@@ -27,9 +29,15 @@ const document = `
 </addressbook>`
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	doc, err := xmlac.ParseDocumentString(document)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The publisher encrypts the document once; the key would normally be
@@ -37,9 +45,9 @@ func main() {
 	key := xmlac.DeriveKey("a passphrase shared out of band")
 	protected, err := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("protected document: %d bytes (encrypted, indexed, tamper-evident)\n\n", protected.Size())
+	fmt.Fprintf(w, "protected document: %d bytes (encrypted, indexed, tamper-evident)\n\n", protected.Size())
 
 	// A family member sees everything except work contacts' notes.
 	family := xmlac.Policy{
@@ -61,10 +69,11 @@ func main() {
 	for _, p := range []xmlac.Policy{family, colleague} {
 		view, metrics, err := protected.AuthorizedView(key, p, xmlac.ViewOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("--- view for %s ---\n%s\n", p.Subject, view.IndentedXML())
-		fmt.Printf("(SOE transferred %d bytes, skipped %d bytes of prohibited data)\n\n",
+		fmt.Fprintf(w, "--- view for %s ---\n%s\n", p.Subject, view.IndentedXML())
+		fmt.Fprintf(w, "(SOE transferred %d bytes, skipped %d bytes of prohibited data)\n\n",
 			metrics.BytesTransferred, metrics.BytesSkipped)
 	}
+	return nil
 }

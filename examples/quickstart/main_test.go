@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun is the smoke test keeping the example from rotting: it must run
+// end to end and show the family member the personal notes while hiding
+// them from the colleague.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "view for family-member") || !strings.Contains(out, "view for colleague") {
+		t.Fatalf("missing views:\n%s", out)
+	}
+	family := out[:strings.Index(out, "view for colleague")]
+	colleague := out[strings.Index(out, "view for colleague"):]
+	if !strings.Contains(family, "allergic to penicillin") {
+		t.Fatalf("family view lost permitted notes:\n%s", family)
+	}
+	if strings.Contains(colleague, "allergic to penicillin") || strings.Contains(colleague, "Alice Martin") {
+		t.Fatalf("colleague view leaks family data:\n%s", colleague)
+	}
+}

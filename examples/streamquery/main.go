@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"xmlac"
 	"xmlac/internal/dataset"
@@ -15,15 +17,21 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	root := dataset.HospitalFolders(60, 7)
 	doc, err := xmlac.ParseDocumentString(xmlstream.SerializeTree(root, false))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	key := xmlac.DeriveKey("hospital master key")
 	protected, err := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	doctor := xmlac.DoctorPolicy("DrB")
@@ -35,10 +43,10 @@ func main() {
 	for _, q := range queries {
 		view, metrics, err := protected.AuthorizedView(key, doctor, xmlac.ViewOptions{Query: q})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		size := len(view.XML())
-		fmt.Printf("query %-42s -> %6d B of result, %6d B transferred, %6d B skipped\n",
+		fmt.Fprintf(w, "query %-42s -> %6d B of result, %6d B transferred, %6d B skipped\n",
 			q, size, metrics.BytesTransferred, metrics.BytesSkipped)
 	}
 
@@ -49,8 +57,9 @@ func main() {
 		Query: "//Folder[MedActs/Act/RPhys = DrB]/Admin",
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nsecretary issuing the medical query gets %d bytes (the predicate reads denied data)\n",
+	fmt.Fprintf(w, "\nsecretary issuing the medical query gets %d bytes (the predicate reads denied data)\n",
 		len(secView.XML()))
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the stream-query example: the three doctor queries and
+// the secretary counter-example must all evaluate, and the secretary's
+// medical query must come back empty (0 bytes).
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "query //") != 3 {
+		t.Fatalf("expected 3 query lines:\n%s", out)
+	}
+	if !strings.Contains(out, "secretary issuing the medical query gets 0 bytes") {
+		t.Fatalf("secretary must get an empty result from the medical query:\n%s", out)
+	}
+}

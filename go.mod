@@ -1,0 +1,3 @@
+module xmlac
+
+go 1.22

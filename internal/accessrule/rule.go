@@ -8,8 +8,11 @@
 package accessrule
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 
 	"xmlac/internal/xpath"
@@ -162,6 +165,26 @@ func (p *Policy) Labels() map[string]struct{} {
 		}
 	}
 	return out
+}
+
+// Fingerprint returns a stable hex digest identifying the policy: same
+// subject and same rules (IDs, signs and objects, in order) yield the same
+// fingerprint across processes. Compiled-policy caches use it as part of
+// their key so that replacing a subject's policy naturally invalidates the
+// cached compilation.
+func (p *Policy) Fingerprint() string {
+	h := sha256.New()
+	io.WriteString(h, p.Subject)
+	h.Write([]byte{0})
+	for _, r := range p.Rules {
+		io.WriteString(h, r.ID)
+		h.Write([]byte{0})
+		io.WriteString(h, r.Sign.String())
+		h.Write([]byte{0})
+		io.WriteString(h, r.Object.String())
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Clone returns a deep copy of the policy.

@@ -115,20 +115,43 @@ type Evaluator struct {
 // NewEvaluator compiles the policy (and optional query) and prepares an
 // evaluator over the given event reader.
 func NewEvaluator(reader xmlstream.EventReader, policy *accessrule.Policy, opts Options) *Evaluator {
-	e := &Evaluator{
-		reader:        reader,
-		opts:          opts,
-		predInstances: map[predKey]*predInstance{},
-		anchorIndex:   map[uint64][]*predInstance{},
-		builder:       newResultBuilder(opts.DummyDeniedNames),
+	return NewCompiledEvaluator(reader, CompilePolicy(policy), opts)
+}
+
+// NewCompiledEvaluator prepares an evaluator over the given event reader from
+// a pre-compiled policy, skipping rule compilation. The compiled policy may
+// be shared by concurrent evaluators.
+func NewCompiledEvaluator(reader xmlstream.EventReader, cp *CompiledPolicy, opts Options) *Evaluator {
+	e := &Evaluator{}
+	e.Reset(reader, cp, opts)
+	return e
+}
+
+// Reset re-arms the evaluator for a fresh run over a new reader, reusing the
+// allocated maps and stacks of the previous run. It makes the evaluator
+// sync.Pool-friendly: a server can keep a pool of evaluators and pay the
+// per-request allocations only once per pooled instance. The previous run's
+// Result remains valid (finalize exports the view into fresh nodes).
+func (e *Evaluator) Reset(reader xmlstream.EventReader, cp *CompiledPolicy, opts Options) {
+	e.reader = reader
+	e.opts = opts
+	e.meta = nil
+	e.skipper = nil
+	e.metrics = Metrics{}
+	e.blanketPermitDepth = 0
+	e.nextSerial = 0
+	e.serials = e.serials[:0]
+	e.authLevels = e.authLevels[:0]
+
+	// The rule table copies the (small) compiledRule headers into
+	// evaluator-owned storage so that appending the per-run query automaton
+	// never mutates the shared compiled policy; the ARAs themselves are
+	// shared and immutable.
+	if cap(e.rules) < len(cp.rules)+1 {
+		e.rules = make([]compiledRule, 0, len(cp.rules)+1)
 	}
-	for _, r := range policy.Rules {
-		e.rules = append(e.rules, compiledRule{
-			id:   r.ID,
-			sign: r.Sign,
-			ara:  automaton.Compile(r.ID, r.Object),
-		})
-	}
+	e.rules = append(e.rules[:0], cp.rules...)
+	e.hasQuery = false
 	if opts.Query != nil {
 		e.hasQuery = true
 		e.rules = append(e.rules, compiledRule{
@@ -138,6 +161,19 @@ func NewEvaluator(reader xmlstream.EventReader, policy *accessrule.Policy, opts 
 			ara:     automaton.Compile("query", opts.Query),
 		})
 	}
+
+	if e.predInstances == nil {
+		e.predInstances = map[predKey]*predInstance{}
+	} else {
+		clear(e.predInstances)
+	}
+	if e.anchorIndex == nil {
+		e.anchorIndex = map[uint64][]*predInstance{}
+	} else {
+		clear(e.anchorIndex)
+	}
+	e.builder = newResultBuilder(opts.DummyDeniedNames)
+
 	if !opts.DisableSkipIndex {
 		if mp, ok := reader.(MetaProvider); ok {
 			e.meta = mp
@@ -147,12 +183,17 @@ func NewEvaluator(reader xmlstream.EventReader, policy *accessrule.Policy, opts 
 		e.skipper = sk
 	}
 	// Initial token level: one navigational token per rule at state 0.
-	initial := make([]automaton.Token, 0, len(e.rules))
+	var initial []automaton.Token
+	if len(e.tokenStack) > 0 {
+		initial = e.tokenStack[0][:0]
+	}
+	if cap(initial) < len(e.rules) {
+		initial = make([]automaton.Token, 0, len(e.rules))
+	}
 	for i := range e.rules {
 		initial = append(initial, automaton.Token{Rule: i, Path: automaton.NavPath, State: 0})
 	}
-	e.tokenStack = [][]automaton.Token{initial}
-	return e
+	e.tokenStack = append(e.tokenStack[:0], initial)
 }
 
 // Evaluate runs a full evaluation: it drives the reader to the end of the

@@ -143,21 +143,55 @@ func (r *Reader) cachePut(block int64, plain []byte) {
 
 // NewReader builds a secure reader over a protected document.
 func NewReader(prot *Protected, key Key) (*Reader, error) {
-	block, err := blockCipher(key)
-	if err != nil {
+	r := &Reader{}
+	if err := r.Reset(prot, key); err != nil {
 		return nil, err
 	}
-	return &Reader{
-		prot:              prot,
-		key:               key,
-		block:             block,
-		verifiedChunks:    map[int]bool{},
-		verifiedFragments: map[int]map[int]bool{},
-		digestCache:       map[int][]byte{},
-		leafCache:         map[int]map[int][DigestSize]byte{},
-		blockCache:        map[int64][]byte{},
-		ctCache:           map[int64][2]int64{},
-	}, nil
+	return r, nil
+}
+
+// Reset re-arms the reader over a (possibly different) protected document and
+// key, reusing the verification and cache tables of the previous run instead
+// of reallocating them. The block cipher is rebuilt only when the key
+// changes. Reset makes the reader sync.Pool-friendly: a server evaluating
+// many views over protected documents pays the map allocations once per
+// pooled reader.
+func (r *Reader) Reset(prot *Protected, key Key) error {
+	if r.block == nil || !bytes.Equal(r.key, key) {
+		block, err := blockCipher(key)
+		if err != nil {
+			return err
+		}
+		r.block = block
+		r.key = append(r.key[:0], key...)
+	}
+	r.prot = prot
+	r.costs = Costs{}
+	r.justFetched = nil
+	if r.verifiedChunks == nil {
+		r.verifiedChunks = map[int]bool{}
+		r.verifiedFragments = map[int]map[int]bool{}
+		r.digestCache = map[int][]byte{}
+		r.leafCache = map[int]map[int][DigestSize]byte{}
+		r.blockCache = map[int64][]byte{}
+		r.ctCache = map[int64][2]int64{}
+	} else {
+		clear(r.verifiedChunks)
+		clear(r.verifiedFragments)
+		clear(r.digestCache)
+		clear(r.leafCache)
+		clear(r.blockCache)
+		clear(r.ctCache)
+	}
+	for i := range r.blockCacheKeys {
+		r.blockCacheKeys[i] = -1
+	}
+	r.blockCachePos = 0
+	for i := range r.ctCacheKeys {
+		r.ctCacheKeys[i] = -1
+	}
+	r.ctCachePos = 0
+	return nil
 }
 
 // Costs returns the accumulated cost record.

@@ -1,0 +1,388 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmlac"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// CacheCapacity is the total number of compiled policies kept across the
+	// cache shards (<= 0 selects the default of 1024).
+	CacheCapacity int
+	// SessionIdle is the idle duration after which a session is dropped
+	// (<= 0 selects DefaultSessionIdle).
+	SessionIdle time.Duration
+	// DefaultScheme protects documents registered without an explicit
+	// scheme; empty selects SchemeECBMHT (the paper's scheme).
+	DefaultScheme xmlac.Scheme
+	// MaxDocumentBytes bounds the accepted XML body size (<= 0 selects
+	// 64 MiB).
+	MaxDocumentBytes int64
+}
+
+// Server is the multi-tenant document server: protected documents and
+// per-subject policies live in the Store, compiled policies are shared
+// through the PolicyCache, and per-subject consumption is aggregated by the
+// SessionManager. Every method on the HTTP surface is safe for arbitrary
+// concurrency.
+type Server struct {
+	store    *Store
+	cache    *PolicyCache
+	sessions *SessionManager
+	opts     Options
+	started  time.Time
+
+	requests   atomic.Int64
+	viewsOK    atomic.Int64
+	viewErrors atomic.Int64
+
+	// lifetime totals of the evaluation metrics, independent of session
+	// expiry (micro-sharded to keep concurrent views from serializing on one
+	// mutex would be overkill here: a single mutex guards a handful of adds
+	// per request, far from the evaluation cost).
+	totalsMu sync.Mutex
+	totals   xmlac.Metrics
+}
+
+// New builds a server.
+func New(opts Options) *Server {
+	if opts.DefaultScheme == "" {
+		opts.DefaultScheme = xmlac.SchemeECBMHT
+	}
+	if opts.MaxDocumentBytes <= 0 {
+		opts.MaxDocumentBytes = 64 << 20
+	}
+	return &Server{
+		store:    NewStore(),
+		cache:    NewPolicyCache(opts.CacheCapacity),
+		sessions: NewSessionManager(opts.SessionIdle),
+		opts:     opts,
+		started:  time.Now(),
+	}
+}
+
+// Store exposes the document store (used by cmd/xmlac-serve to preload demo
+// content and by tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Cache exposes the compiled-policy cache.
+func (s *Server) Cache() *PolicyCache { return s.cache }
+
+// Handler returns the HTTP handler serving the API:
+//
+//	PUT    /docs/{id}                      register a document (body: XML)
+//	GET    /docs                           list documents
+//	GET    /docs/{id}                      document info
+//	DELETE /docs/{id}                      delete a document
+//	PUT    /docs/{id}/policies/{subject}   install a subject's policy (body: JSON)
+//	GET    /docs/{id}/policies/{subject}   policy info
+//	GET    /docs/{id}/view?subject=S       stream the subject's authorized view
+//	GET    /metrics                        aggregated counters
+//	GET    /healthz                        liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /docs/{id}", s.handlePutDoc)
+	mux.HandleFunc("GET /docs", s.handleListDocs)
+	mux.HandleFunc("GET /docs/{id}", s.handleGetDoc)
+	mux.HandleFunc("DELETE /docs/{id}", s.handleDeleteDoc)
+	mux.HandleFunc("PUT /docs/{id}/policies/{subject}", s.handlePutPolicy)
+	mux.HandleFunc("GET /docs/{id}/policies/{subject}", s.handleGetPolicy)
+	mux.HandleFunc("GET /docs/{id}/view", s.handleView)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s.countRequests(mux)
+}
+
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// httpError writes a JSON error body with the right status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxDocumentBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.opts.MaxDocumentBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "document exceeds %d bytes", s.opts.MaxDocumentBytes)
+		return
+	}
+	scheme := s.opts.DefaultScheme
+	if raw := r.URL.Query().Get("scheme"); raw != "" {
+		scheme, err = xmlac.ParseScheme(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	passphrase := r.Header.Get("X-Xmlac-Passphrase")
+	// A re-registered document invalidates previous compilations and
+	// sessions before the new entry is installed, so cache and session
+	// state created for the new document by concurrent requests is never
+	// dropped. (Leftover old-document cache entries are harmless: keys are
+	// content-addressed by policy hash.)
+	s.cache.InvalidateDoc(id)
+	s.sessions.DropDocument(id)
+	entry, err := s.store.RegisterXML(id, string(body), passphrase, scheme)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, entry.Info())
+}
+
+func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"documents": s.store.List()})
+}
+
+func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	info := entry.Info()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"document": info,
+		"subjects": entry.Subjects(),
+	})
+}
+
+func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.Remove(id) {
+		httpError(w, http.StatusNotFound, "document %q not found", id)
+		return
+	}
+	s.cache.InvalidateDoc(id)
+	s.sessions.DropDocument(id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// policyPayload is the JSON body of PUT /docs/{id}/policies/{subject}.
+type policyPayload struct {
+	Rules []struct {
+		ID     string `json:"id"`
+		Sign   string `json:"sign"`
+		Object string `json:"object"`
+	} `json:"rules"`
+}
+
+func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	subject := r.PathValue("subject")
+	var payload policyPayload
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&payload); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding policy JSON: %v", err)
+		return
+	}
+	policy := xmlac.Policy{Subject: subject}
+	for _, rule := range payload.Rules {
+		policy.Rules = append(policy.Rules, xmlac.Rule{ID: rule.ID, Sign: rule.Sign, Object: rule.Object})
+	}
+	if err := policy.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := entry.SetPolicy(subject, policy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"document": entry.ID,
+		"subject":  subject,
+		"rules":    len(policy.Rules),
+		"hash":     hash,
+	})
+}
+
+func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	subject := r.PathValue("subject")
+	rec, err := entry.PolicyFor(subject)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	rules := make([]map[string]string, 0, len(rec.Policy.Rules))
+	for _, rule := range rec.Policy.Rules {
+		rules = append(rules, map[string]string{"id": rule.ID, "sign": rule.Sign, "object": rule.Object})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"document":   entry.ID,
+		"subject":    subject,
+		"hash":       rec.Hash,
+		"updated_at": rec.UpdatedAt,
+		"rules":      rules,
+	})
+}
+
+// compiledFor returns the compiled policy for a subject over a document,
+// compiling and caching it on first use.
+func (s *Server) compiledFor(entry *DocumentEntry, rec PolicyRecord, subject string) (*xmlac.CompiledPolicy, error) {
+	key := cacheKey{docID: entry.ID, subject: subject, hash: rec.Hash}
+	if cp, ok := s.cache.Get(key); ok {
+		return cp, nil
+	}
+	cp, err := rec.Policy.Compile()
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, cp)
+	return cp, nil
+}
+
+// viewChunkSize is the streaming granularity of GET /view responses.
+const viewChunkSize = 16 << 10
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	subject := q.Get("subject")
+	if subject == "" {
+		httpError(w, http.StatusBadRequest, "missing required query parameter %q", "subject")
+		return
+	}
+	rec, err := entry.PolicyFor(subject)
+	if err != nil {
+		httpError(w, http.StatusForbidden, "%v", err)
+		return
+	}
+	opts := xmlac.ViewOptions{
+		Query:            q.Get("query"),
+		DummyDeniedNames: q.Get("dummy") == "1" || q.Get("dummy") == "true",
+	}
+	if opts.Query != "" {
+		// Reject bad queries with a 400 before compiling the policy.
+		if err := xmlac.ValidateXPath(opts.Query); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid query: %v", err)
+			return
+		}
+	}
+	sess := s.sessions.Acquire(entry.ID, subject)
+	cp, err := s.compiledFor(entry, rec, subject)
+	if err != nil {
+		sess.RecordError()
+		s.viewErrors.Add(1)
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	view, metrics, err := entry.View(cp, opts)
+	if err != nil {
+		sess.RecordError()
+		s.viewErrors.Add(1)
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sess.Record(metrics)
+	s.viewsOK.Add(1)
+	s.addTotals(metrics)
+
+	var xml string
+	if q.Get("indent") == "1" || q.Get("indent") == "true" {
+		xml = view.IndentedXML()
+	} else {
+		xml = view.XML()
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/xml; charset=utf-8")
+	h.Set("X-Xmlac-Subject", subject)
+	h.Set("X-Xmlac-Policy-Hash", rec.Hash)
+	h.Set("X-Xmlac-Bytes-Transferred", strconv.FormatInt(metrics.BytesTransferred, 10))
+	h.Set("X-Xmlac-Bytes-Skipped", strconv.FormatInt(metrics.BytesSkipped, 10))
+	h.Set("X-Xmlac-Nodes-Permitted", strconv.FormatInt(metrics.NodesPermitted, 10))
+	w.WriteHeader(http.StatusOK)
+	// Deliver the serialized view in chunks; without a Content-Length the
+	// net/http server uses chunked transfer encoding and the flushes put
+	// bytes on the wire as they are written, so clients can consume the
+	// view incrementally. (The serialized view itself is materialized
+	// in memory first — the evaluator buffers pending nodes anyway, so
+	// fully incremental serialization would not change the peak.)
+	flusher, _ := w.(http.Flusher)
+	for off := 0; off < len(xml); off += viewChunkSize {
+		end := off + viewChunkSize
+		if end > len(xml) {
+			end = len(xml)
+		}
+		if _, err := io.WriteString(w, xml[off:end]); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// An empty authorized view is a legitimate outcome of the closed policy:
+	// the body is empty and the headers carry the metrics.
+}
+
+func (s *Server) addTotals(m *xmlac.Metrics) {
+	s.totalsMu.Lock()
+	s.totals.Add(m)
+	s.totalsMu.Unlock()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sessions := s.sessions.Snapshot()
+	hits, misses := s.cache.Stats()
+	s.totalsMu.Lock()
+	totals := s.totals
+	s.totalsMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"requests":       s.requests.Load(),
+		"views_served":   s.viewsOK.Load(),
+		"view_errors":    s.viewErrors.Load(),
+		"documents":      s.store.Len(),
+		"policy_cache": map[string]any{
+			"hits":    hits,
+			"misses":  misses,
+			"entries": s.cache.Len(),
+		},
+		"totals":   totals,
+		"sessions": sessions,
+	})
+}

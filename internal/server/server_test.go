@@ -1,0 +1,340 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmlac"
+	"xmlac/internal/dataset"
+	"xmlac/internal/xmlstream"
+)
+
+// hospitalXML generates a small hospital document for the tests.
+func hospitalXML(folders int) string {
+	return xmlstream.SerializeTree(dataset.HospitalFolders(folders, 7), false)
+}
+
+// doctorRulesJSON is the JSON payload of the paper's doctor policy (the USER
+// variable binds to the path subject).
+const doctorRulesJSON = `{"rules":[
+	{"id":"D1","sign":"+","object":"//Folder/Admin"},
+	{"id":"D2","sign":"+","object":"//MedActs[//RPhys = USER]"},
+	{"id":"D3","sign":"-","object":"//Act[RPhys != USER]/Details"},
+	{"id":"D4","sign":"+","object":"//Folder[MedActs//RPhys = USER]/Analysis"}
+]}`
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// do issues a request and returns the response with its body read.
+func do(t *testing.T, method, url string, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+func putDoc(t *testing.T, ts *httptest.Server, id string, xml string) {
+	t.Helper()
+	resp, body := do(t, http.MethodPut, ts.URL+"/docs/"+id, xml)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT /docs/%s: %d %s", id, resp.StatusCode, body)
+	}
+}
+
+func putPolicy(t *testing.T, ts *httptest.Server, id, subject, rulesJSON string) {
+	t.Helper()
+	resp, body := do(t, http.MethodPut, fmt.Sprintf("%s/docs/%s/policies/%s", ts.URL, id, subject), rulesJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT policy %s/%s: %d %s", id, subject, resp.StatusCode, body)
+	}
+}
+
+func TestDocumentLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	xml := hospitalXML(10)
+	putDoc(t, ts, "hospital", xml)
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/hospital", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"hospital"`) {
+		t.Fatalf("GET /docs/hospital: %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, http.MethodGet, ts.URL+"/docs", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"hospital"`) {
+		t.Fatalf("GET /docs: %d %s", resp.StatusCode, body)
+	}
+
+	putPolicy(t, ts, "hospital", "secretary", `{"rules":[{"id":"S1","sign":"+","object":"//Admin"}]}`)
+	resp, body = do(t, http.MethodGet, ts.URL+"/docs/hospital/policies/secretary", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "S1") {
+		t.Fatalf("GET policy: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=secretary", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET view: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "<Admin>") || strings.Contains(body, "<Details>") {
+		t.Fatalf("secretary view wrong: %.200s", body)
+	}
+	if resp.Header.Get("X-Xmlac-Policy-Hash") == "" || resp.Header.Get("X-Xmlac-Bytes-Transferred") == "" {
+		t.Fatal("metrics headers missing on view response")
+	}
+
+	resp, _ = do(t, http.MethodDelete, ts.URL+"/docs/hospital", "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodGet, ts.URL+"/docs/hospital", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after delete: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestViewMatchesLibrary asserts the server's streamed view is byte-identical
+// to what the library produces directly for the same document, key and
+// policy (the server is a transport, not a different evaluator).
+func TestViewMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t)
+	xml := hospitalXML(12)
+	putDoc(t, ts, "hospital", xml)
+	putPolicy(t, ts, "hospital", "DrA", doctorRulesJSON)
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=DrA", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET view: %d %s", resp.StatusCode, body)
+	}
+
+	doc, err := xmlac.ParseDocumentString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := xmlac.DeriveKey("xmlac-serve default key for hospital")
+	prot, err := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := prot.AuthorizedView(key, xmlac.DoctorPolicy("DrA"), xmlac.ViewOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != want.XML() {
+		t.Fatalf("server view differs from library view:\nserver: %.200s\nlibrary: %.200s", body, want.XML())
+	}
+}
+
+func TestViewWithQueryAndOptions(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDoc(t, ts, "hospital", hospitalXML(12))
+	putPolicy(t, ts, "hospital", "DrA", doctorRulesJSON)
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=DrA&query="+
+		"%2F%2FFolder%5BAdmin%2FAge+%3E+70%5D&indent=1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query view: %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=DrA&query=%2F%2F%2F", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid query: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+func TestViewErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDoc(t, ts, "hospital", hospitalXML(5))
+
+	resp, _ := do(t, http.MethodGet, ts.URL+"/docs/nope/view?subject=x", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown doc: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodGet, ts.URL+"/docs/hospital/view", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing subject: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=stranger", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("no policy: %d, want 403", resp.StatusCode)
+	}
+	resp, body := do(t, http.MethodPut, ts.URL+"/docs/hospital/policies/u", `{"rules":[{"sign":"+","object":"not a path"}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid policy: %d %s, want 400", resp.StatusCode, body)
+	}
+	resp, body = do(t, http.MethodPut, ts.URL+"/docs/bad", "<unclosed>")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed doc: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentSubjects serves >= 64 concurrent view requests for distinct
+// subjects over one registered document (the acceptance scenario); it must
+// be race-clean under -race.
+func TestConcurrentSubjects(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDoc(t, ts, "hospital", hospitalXML(8))
+
+	const subjects = 64
+	const requestsPerSubject = 2
+	names := make([]string, subjects)
+	for i := range names {
+		// Subjects cycle through the dataset's physicians so the predicates
+		// match real data, but every subject name is distinct.
+		names[i] = fmt.Sprintf("%s-clone%02d", dataset.Physicians()[i%len(dataset.Physicians())], i)
+		putPolicy(t, ts, "hospital", names[i], doctorRulesJSON)
+	}
+
+	// First pass sequentially records each subject's reference body.
+	reference := make(map[string]string, subjects)
+	for _, name := range names {
+		resp, body := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject="+name, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("view %s: %d %s", name, resp.StatusCode, body)
+		}
+		reference[name] = body
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, subjects*requestsPerSubject)
+	for _, name := range names {
+		for r := 0; r < requestsPerSubject; r++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + "/docs/hospital/view?subject=" + name)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("subject %s: status %d: %.120s", name, resp.StatusCode, body)
+					return
+				}
+				if string(body) != reference[name] {
+					errCh <- fmt.Errorf("subject %s: concurrent view differs from reference", name)
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Every subject was compiled exactly once: the concurrent pass was
+	// served from the compiled-policy cache.
+	hits, misses := srv.Cache().Stats()
+	if misses > subjects {
+		t.Errorf("cache misses %d > %d subjects (compilation not reused)", misses, subjects)
+	}
+	if hits < subjects*requestsPerSubject {
+		t.Errorf("cache hits %d < %d (concurrent requests did not reuse compilations)", hits, subjects*requestsPerSubject)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDoc(t, ts, "hospital", hospitalXML(6))
+	putPolicy(t, ts, "hospital", "secretary", `{"rules":[{"sign":"+","object":"//Admin"}]}`)
+	for i := 0; i < 3; i++ {
+		resp, _ := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=secretary", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("view %d: %d", i, resp.StatusCode)
+		}
+	}
+	resp, body := do(t, http.MethodGet, ts.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var payload struct {
+		ViewsServed int64 `json:"views_served"`
+		Documents   int   `json:"documents"`
+		PolicyCache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"policy_cache"`
+		Totals   xmlac.Metrics `json:"totals"`
+		Sessions []SessionStats
+	}
+	if err := json.NewDecoder(bytes.NewReader([]byte(body))).Decode(&payload); err != nil {
+		t.Fatalf("decoding metrics: %v\n%s", err, body)
+	}
+	if payload.ViewsServed != 3 || payload.Documents != 1 {
+		t.Fatalf("views=%d docs=%d, want 3/1: %s", payload.ViewsServed, payload.Documents, body)
+	}
+	if payload.PolicyCache.Hits != 2 || payload.PolicyCache.Misses != 1 {
+		t.Fatalf("cache hits=%d misses=%d, want 2/1", payload.PolicyCache.Hits, payload.PolicyCache.Misses)
+	}
+	if payload.Totals.BytesTransferred == 0 || payload.Totals.NodesPermitted == 0 {
+		t.Fatalf("aggregated totals missing: %s", body)
+	}
+	if len(payload.Sessions) != 1 || payload.Sessions[0].Views != 3 {
+		t.Fatalf("session aggregation wrong: %s", body)
+	}
+}
+
+func TestReRegisterInvalidatesCache(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDoc(t, ts, "doc", `<a><b>one</b></a>`)
+	putPolicy(t, ts, "doc", "u", `{"rules":[{"sign":"+","object":"//b"}]}`)
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=u", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "one") {
+		t.Fatalf("first view: %d %s", resp.StatusCode, body)
+	}
+	if srv.Cache().Len() != 1 {
+		t.Fatalf("cache len %d, want 1", srv.Cache().Len())
+	}
+	// Re-registering the document drops the cached compilations and the old
+	// policies: the subject must re-install its policy.
+	putDoc(t, ts, "doc", `<a><b>two</b></a>`)
+	if srv.Cache().Len() != 0 {
+		t.Fatalf("cache len %d after re-register, want 0", srv.Cache().Len())
+	}
+	resp, _ = do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=u", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("view after re-register: %d, want 403 (policies reset)", resp.StatusCode)
+	}
+	putPolicy(t, ts, "doc", "u", `{"rules":[{"sign":"+","object":"//b"}]}`)
+	resp, body = do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=u", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "two") {
+		t.Fatalf("view of new content: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestEmptyViewStreamsEmptyBody(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDoc(t, ts, "doc", `<a><b>v</b></a>`)
+	putPolicy(t, ts, "doc", "u", `{"rules":[{"sign":"+","object":"//missing"}]}`)
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=u", "")
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("empty view: %d %q, want 200 with empty body", resp.StatusCode, body)
+	}
+}

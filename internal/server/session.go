@@ -1,0 +1,164 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"xmlac"
+)
+
+// sessionKey identifies one subject's activity over one document.
+type sessionKey struct {
+	docID   string
+	subject string
+}
+
+// Session aggregates the evaluation metrics of one (document, subject) pair
+// across requests: the server-side view of one client SOE's consumption.
+type Session struct {
+	key      sessionKey
+	mu       sync.Mutex
+	views    int64
+	errors   int64
+	totals   xmlac.Metrics
+	lastSeen time.Time
+}
+
+// SessionStats is the externally visible snapshot of one session.
+type SessionStats struct {
+	Document string        `json:"document"`
+	Subject  string        `json:"subject"`
+	Views    int64         `json:"views"`
+	Errors   int64         `json:"errors"`
+	Totals   xmlac.Metrics `json:"totals"`
+	LastSeen time.Time     `json:"last_seen"`
+}
+
+// SessionManager tracks the active (document, subject) sessions. Sessions
+// are created lazily on first use and expire after MaxIdle of inactivity;
+// expiry is swept lazily on access so no background goroutine is needed.
+type SessionManager struct {
+	mu       sync.Mutex
+	sessions map[sessionKey]*Session
+	maxIdle  time.Duration
+	acquires int64
+}
+
+// DefaultSessionIdle is the idle duration after which a session is dropped.
+const DefaultSessionIdle = 15 * time.Minute
+
+// NewSessionManager builds a session manager; maxIdle <= 0 selects
+// DefaultSessionIdle.
+func NewSessionManager(maxIdle time.Duration) *SessionManager {
+	if maxIdle <= 0 {
+		maxIdle = DefaultSessionIdle
+	}
+	return &SessionManager{sessions: make(map[sessionKey]*Session), maxIdle: maxIdle}
+}
+
+// Acquire returns the session for a (document, subject) pair, creating it on
+// first use and refreshing its idle timer.
+func (m *SessionManager) Acquire(docID, subject string) *Session {
+	k := sessionKey{docID: docID, subject: subject}
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acquires++
+	if m.acquires%256 == 0 {
+		m.sweepLocked(now)
+	}
+	sess, ok := m.sessions[k]
+	if !ok {
+		sess = &Session{key: k, lastSeen: now}
+		m.sessions[k] = sess
+	} else {
+		sess.mu.Lock()
+		sess.lastSeen = now
+		sess.mu.Unlock()
+	}
+	return sess
+}
+
+// sweepLocked drops sessions idle for longer than maxIdle.
+func (m *SessionManager) sweepLocked(now time.Time) {
+	for k, sess := range m.sessions {
+		sess.mu.Lock()
+		idle := now.Sub(sess.lastSeen)
+		sess.mu.Unlock()
+		if idle > m.maxIdle {
+			delete(m.sessions, k)
+		}
+	}
+}
+
+// DropDocument removes every session of a document (document deleted or
+// replaced).
+func (m *SessionManager) DropDocument(docID string) {
+	m.mu.Lock()
+	for k := range m.sessions {
+		if k.docID == docID {
+			delete(m.sessions, k)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Len returns the number of live sessions.
+func (m *SessionManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Record folds one successful evaluation's metrics into the session.
+func (s *Session) Record(metrics *xmlac.Metrics) {
+	s.mu.Lock()
+	s.views++
+	s.totals.Add(metrics)
+	s.mu.Unlock()
+}
+
+// RecordError counts one failed evaluation.
+func (s *Session) RecordError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the session.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{
+		Document: s.key.docID,
+		Subject:  s.key.subject,
+		Views:    s.views,
+		Errors:   s.errors,
+		Totals:   s.totals,
+		LastSeen: s.lastSeen,
+	}
+}
+
+// Snapshot returns the stats of every live session, sorted by document then
+// subject. (Lifetime grand totals live on the Server, independent of
+// session expiry.)
+func (m *SessionManager) Snapshot() []SessionStats {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	out := make([]SessionStats, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.Stats())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Document != out[j].Document {
+			return out[i].Document < out[j].Document
+		}
+		return out[i].Subject < out[j].Subject
+	})
+	return out
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"xmlac"
+)
+
+// ErrNotFound is returned for unknown documents or subjects.
+var ErrNotFound = errors.New("server: not found")
+
+// Store is the concurrency-safe registry of protected documents and their
+// per-subject policies. Each document is protected (compressed, encrypted,
+// integrity-protected) once at registration time; every later view request
+// evaluates against the same immutable protected form, so reads never lock
+// out each other.
+type Store struct {
+	mu   sync.RWMutex
+	docs map[string]*DocumentEntry
+}
+
+// NewStore builds an empty store.
+func NewStore() *Store {
+	return &Store{docs: make(map[string]*DocumentEntry)}
+}
+
+// DocumentEntry is one registered document with its key and the policies of
+// its subjects. The protected form and key are immutable after registration;
+// the policy table has its own lock so policy updates do not block view
+// requests on other documents.
+type DocumentEntry struct {
+	ID        string
+	Scheme    xmlac.Scheme
+	Stats     xmlac.Stats
+	CreatedAt time.Time
+
+	prot *xmlac.Protected
+	key  xmlac.Key
+
+	mu       sync.RWMutex
+	policies map[string]PolicyRecord
+}
+
+// PolicyRecord is one subject's policy with its content fingerprint.
+type PolicyRecord struct {
+	Policy    xmlac.Policy
+	Hash      string
+	UpdatedAt time.Time
+}
+
+// DocumentInfo is the externally visible summary of a registered document.
+type DocumentInfo struct {
+	ID             string    `json:"id"`
+	Scheme         string    `json:"scheme"`
+	ProtectedBytes int       `json:"protected_bytes"`
+	Elements       int       `json:"elements"`
+	MaxDepth       int       `json:"max_depth"`
+	Subjects       int       `json:"subjects"`
+	CreatedAt      time.Time `json:"created_at"`
+}
+
+// RegisterXML parses, protects and registers a document under the given id,
+// replacing any previous document with that id. The key is derived from the
+// passphrase; an empty passphrase derives a deterministic per-document
+// default (fine for demos, not for production).
+func (s *Store) RegisterXML(id, xmlText, passphrase string, scheme xmlac.Scheme) (*DocumentEntry, error) {
+	doc, err := xmlac.ParseDocumentString(xmlText)
+	if err != nil {
+		return nil, fmt.Errorf("server: parsing document %q: %w", id, err)
+	}
+	if passphrase == "" {
+		passphrase = "xmlac-serve default key for " + id
+	}
+	key := xmlac.DeriveKey(passphrase)
+	prot, err := xmlac.Protect(doc, key, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("server: protecting document %q: %w", id, err)
+	}
+	entry := &DocumentEntry{
+		ID:        id,
+		Scheme:    scheme,
+		Stats:     doc.Stats(),
+		CreatedAt: time.Now(),
+		prot:      prot,
+		key:       key,
+		policies:  make(map[string]PolicyRecord),
+	}
+	s.mu.Lock()
+	s.docs[id] = entry
+	s.mu.Unlock()
+	return entry, nil
+}
+
+// Entry returns the document registered under id.
+func (s *Store) Entry(id string) (*DocumentEntry, error) {
+	s.mu.RLock()
+	entry, ok := s.docs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: document %q", ErrNotFound, id)
+	}
+	return entry, nil
+}
+
+// Remove deletes a document; it reports whether the document existed.
+func (s *Store) Remove(id string) bool {
+	s.mu.Lock()
+	_, ok := s.docs[id]
+	delete(s.docs, id)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of registered documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// List returns the summaries of every registered document, sorted by id.
+func (s *Store) List() []DocumentInfo {
+	s.mu.RLock()
+	entries := make([]*DocumentEntry, 0, len(s.docs))
+	for _, e := range s.docs {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	out := make([]DocumentInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Info())
+	}
+	return out
+}
+
+// Info returns the externally visible summary of the document.
+func (e *DocumentEntry) Info() DocumentInfo {
+	e.mu.RLock()
+	subjects := len(e.policies)
+	e.mu.RUnlock()
+	return DocumentInfo{
+		ID:             e.ID,
+		Scheme:         string(e.Scheme),
+		ProtectedBytes: e.prot.Size(),
+		Elements:       e.Stats.Elements,
+		MaxDepth:       e.Stats.MaxDepth,
+		Subjects:       subjects,
+		CreatedAt:      e.CreatedAt,
+	}
+}
+
+// SetPolicy validates and installs the policy of one subject over the
+// document, returning its fingerprint.
+func (e *DocumentEntry) SetPolicy(subject string, policy xmlac.Policy) (string, error) {
+	policy.Subject = subject
+	hash, err := policy.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	e.policies[subject] = PolicyRecord{Policy: policy, Hash: hash, UpdatedAt: time.Now()}
+	e.mu.Unlock()
+	return hash, nil
+}
+
+// PolicyFor returns the policy record of a subject.
+func (e *DocumentEntry) PolicyFor(subject string) (PolicyRecord, error) {
+	e.mu.RLock()
+	rec, ok := e.policies[subject]
+	e.mu.RUnlock()
+	if !ok {
+		return PolicyRecord{}, fmt.Errorf("%w: no policy for subject %q on document %q", ErrNotFound, subject, e.ID)
+	}
+	return rec, nil
+}
+
+// Subjects returns the subjects holding a policy over the document, sorted.
+func (e *DocumentEntry) Subjects() []string {
+	e.mu.RLock()
+	out := make([]string, 0, len(e.policies))
+	for s := range e.policies {
+		out = append(out, s)
+	}
+	e.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// View evaluates a compiled policy over the protected document and returns
+// the authorized view with its metrics.
+func (e *DocumentEntry) View(cp *xmlac.CompiledPolicy, opts xmlac.ViewOptions) (*xmlac.Document, *xmlac.Metrics, error) {
+	return e.prot.AuthorizedViewCompiled(e.key, cp, opts)
+}

@@ -28,6 +28,33 @@
 //	fmt.Println(view.XML())
 //	fmt.Printf("skipped %d bytes of prohibited data\n", metrics.BytesSkipped)
 //
+// # Compile once, evaluate many
+//
+// AuthorizedView parses and compiles every rule on each call. When the same
+// policy is evaluated repeatedly — a server streaming views to a fleet of
+// clients, a batch job — compile it once and reuse it:
+//
+//	cp, _ := policy.Compile()
+//	view, metrics, _ := protected.AuthorizedViewCompiled(key, cp, xmlac.ViewOptions{})
+//
+// The contract: AuthorizedViewCompiled produces byte-identical views and
+// identical metrics to AuthorizedView for the policy the CompiledPolicy was
+// compiled from. A CompiledPolicy is immutable and safe for concurrent use;
+// its Hash (the policy Fingerprint) is a stable cache key. Both entry points
+// draw their per-request machinery (secure reader, streaming evaluator) from
+// a sync.Pool, so concurrent evaluations do not re-allocate it.
+//
+// # Server
+//
+// The internal/server package and the xmlac-serve command expose this API as
+// a concurrent multi-tenant HTTP service: protected documents and
+// per-subject policies are registered over HTTP (PUT /docs/{id},
+// PUT /docs/{id}/policies/{subject}), authorized views are streamed with
+// chunked transfer encoding (GET /docs/{id}/view?subject=...&query=...), and
+// compiled policies are shared across requests through a sharded LRU cache
+// keyed on (document, subject, policy hash). GET /metrics aggregates the
+// Metrics counters of every evaluation across requests and sessions.
+//
 // The sub-packages under internal/ implement the building blocks (XPath
 // fragment, access rules automata, streaming evaluator, Skip index,
 // encryption and integrity layer, SOE cost model, dataset generators and the
@@ -45,7 +72,6 @@ import (
 	"xmlac/internal/core"
 	"xmlac/internal/secure"
 	"xmlac/internal/skipindex"
-	"xmlac/internal/soe"
 	"xmlac/internal/xmlstream"
 	"xmlac/internal/xpath"
 )
@@ -314,47 +340,35 @@ type Metrics struct {
 	EstimatedSmartCardSeconds float64
 }
 
+// Add accumulates another metrics record; aggregators (internal/server's
+// sessions and totals) fold per-request metrics with it.
+func (m *Metrics) Add(o *Metrics) {
+	m.BytesTransferred += o.BytesTransferred
+	m.BytesDecrypted += o.BytesDecrypted
+	m.BytesSkipped += o.BytesSkipped
+	m.SubtreesSkipped += o.SubtreesSkipped
+	m.NodesPermitted += o.NodesPermitted
+	m.NodesDenied += o.NodesDenied
+	m.NodesPending += o.NodesPending
+	m.EstimatedSmartCardSeconds += o.EstimatedSmartCardSeconds
+}
+
 // AuthorizedView decrypts and evaluates the policy (and optional query) over
 // the protected document inside a simulated SOE, returning the authorized
 // view. Prohibited subtrees are skipped: they are neither transferred to nor
 // decrypted by the SOE, and integrity of everything read is verified when
 // the scheme supports it.
+//
+// AuthorizedView compiles the policy on every call. Callers evaluating the
+// same policy repeatedly (a server, a batch job) should compile it once with
+// Policy.Compile and use AuthorizedViewCompiled, which produces identical
+// output without the per-call compilation.
 func (p *Protected) AuthorizedView(key Key, policy Policy, opts ViewOptions) (*Document, *Metrics, error) {
-	compiled, err := policy.compile()
+	compiled, err := policy.Compile()
 	if err != nil {
 		return nil, nil, err
 	}
-	coreOpts, err := opts.coreOptions()
-	if err != nil {
-		return nil, nil, err
-	}
-	reader, err := secure.NewReader(p.prot, key)
-	if err != nil {
-		return nil, nil, err
-	}
-	decoder, err := skipindex.NewDecoder(reader)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := core.Evaluate(decoder, compiled, coreOpts)
-	if err != nil {
-		return nil, nil, err
-	}
-	costs := reader.Costs()
-	profile := soe.HardwareSmartCard()
-	breakdown := profile.Breakdown(costs.BytesTransferred, costs.BytesDecrypted, costs.BytesHashed,
-		res.Metrics.TokenOps+res.Metrics.Events)
-	metrics := &Metrics{
-		BytesTransferred:          costs.BytesTransferred,
-		BytesDecrypted:            costs.BytesDecrypted,
-		BytesSkipped:              decoder.BytesSkipped(),
-		SubtreesSkipped:           res.Metrics.SubtreesSkipped,
-		NodesPermitted:            res.Metrics.NodesPermitted,
-		NodesDenied:               res.Metrics.NodesDenied,
-		NodesPending:              res.Metrics.NodesPending,
-		EstimatedSmartCardSeconds: breakdown.Total(),
-	}
-	return &Document{root: res.View}, metrics, nil
+	return p.AuthorizedViewCompiled(key, compiled, opts)
 }
 
 // EvaluateDocument evaluates the policy (and optional query) over a
