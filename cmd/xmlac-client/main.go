@@ -1,0 +1,152 @@
+// Command xmlac-client is the remote Secure Operating Environment of the
+// paper's deployment model: it connects to an xmlac-serve instance that
+// stores the encrypted document as an opaque blob (the server never sees the
+// key), evaluates an access-control policy locally and prints the authorized
+// view — fetching, through HTTP range requests, only the parts of the
+// document the Skip index does not prove prohibited.
+//
+// The policy is either one of the built-in profiles of the paper's
+// motivating example (-profile secretary | doctor:<physician> |
+// researcher[:G1,G2,...]) or a rules file (-rules) with one rule per line:
+//
+//   - //Folder/Admin
+//   - //Act[RPhys != USER]/Details
+//
+// Usage, against "xmlac-serve -demo" (which derives the demo key from its
+// default passphrase, so -passphrase may be omitted):
+//
+//	xmlac-client -url http://localhost:8080/docs/hospital -profile doctor:DrA -wire
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlac"
+)
+
+func main() {
+	url := flag.String("url", "", "document URL on an xmlac-serve instance, e.g. http://host:8080/docs/hospital (required)")
+	passphrase := flag.String("passphrase", "", "passphrase of the document key (default: the xmlac-serve demo key for the document)")
+	profile := flag.String("profile", "", "built-in profile: secretary, doctor:<physician>, researcher[:G1,G2,...]")
+	rulesFile := flag.String("rules", "", "rules file (one '<sign> <xpath>' per line)")
+	subject := flag.String("subject", "user", "policy subject (substitutes USER in rule predicates)")
+	query := flag.String("query", "", "optional XPath query restricting the view")
+	out := flag.String("out", "", "output file (default: stdout)")
+	dummy := flag.Bool("dummy-names", false, "replace denied ancestor names with '_'")
+	wire := flag.Bool("wire", false, "print transfer statistics to stderr")
+	flag.Parse()
+
+	if *url == "" || (*profile == "" && *rulesFile == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*url, *passphrase, *profile, *rulesFile, *subject, *query, *out, *dummy, *wire); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlac-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, passphrase, profile, rulesFile, subject, query, out string, dummy, wire bool) error {
+	if passphrase == "" {
+		// The convention xmlac-serve uses for documents registered without
+		// an explicit passphrase (its -demo content in particular).
+		passphrase = "xmlac-serve default key for " + docID(url)
+	}
+	policy, err := buildPolicy(profile, rulesFile, subject)
+	if err != nil {
+		return err
+	}
+	doc, err := xmlac.OpenRemote(url, xmlac.DeriveKey(passphrase))
+	if err != nil {
+		return err
+	}
+	view, metrics, err := doc.AuthorizedView(policy, xmlac.ViewOptions{
+		Query:            query,
+		DummyDeniedNames: dummy,
+	})
+	if err != nil {
+		return err
+	}
+	output := view.IndentedXML()
+	if view.IsEmpty() {
+		output = "<!-- empty authorized view -->\n"
+	}
+	if out == "" {
+		fmt.Print(output)
+	} else if err := os.WriteFile(out, []byte(output), 0o644); err != nil {
+		return err
+	}
+	if wire {
+		totalWire, totalRT := doc.WireStats()
+		fmt.Fprintf(os.Stderr,
+			"document: %d B encrypted; wire: %d B in %d round trips (%.1f%% of a full download); SOE: transferred %d B, skipped %d B in %d subtrees\n",
+			doc.Size(), totalWire, totalRT, 100*float64(totalWire)/float64(doc.Size()),
+			metrics.BytesTransferred, metrics.BytesSkipped, metrics.SubtreesSkipped)
+	}
+	return nil
+}
+
+// docID extracts the document id (last path segment) from the document URL.
+func docID(url string) string {
+	trimmed := strings.TrimRight(url, "/")
+	if i := strings.LastIndex(trimmed, "/"); i >= 0 {
+		return trimmed[i+1:]
+	}
+	return trimmed
+}
+
+// buildPolicy resolves the -profile / -rules flags into a policy.
+func buildPolicy(profile, rulesFile, subject string) (xmlac.Policy, error) {
+	if profile != "" {
+		switch {
+		case profile == "secretary":
+			return xmlac.SecretaryPolicy(), nil
+		case strings.HasPrefix(profile, "doctor:"):
+			return xmlac.DoctorPolicy(strings.TrimPrefix(profile, "doctor:")), nil
+		case profile == "doctor":
+			return xmlac.Policy{}, fmt.Errorf("the doctor profile needs a physician: -profile doctor:<physician>")
+		case profile == "researcher":
+			return xmlac.ResearcherPolicy(), nil
+		case strings.HasPrefix(profile, "researcher:"):
+			groups := strings.Split(strings.TrimPrefix(profile, "researcher:"), ",")
+			return xmlac.ResearcherPolicy(groups...), nil
+		default:
+			return xmlac.Policy{}, fmt.Errorf("unknown profile %q", profile)
+		}
+	}
+	f, err := os.Open(rulesFile)
+	if err != nil {
+		return xmlac.Policy{}, err
+	}
+	defer f.Close()
+	policy := xmlac.Policy{Subject: subject}
+	scanner := bufio.NewScanner(f)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return xmlac.Policy{}, fmt.Errorf("%s:%d: expected '<sign> <xpath>'", rulesFile, lineNo)
+		}
+		policy.Rules = append(policy.Rules, xmlac.Rule{
+			ID:     fmt.Sprintf("L%d", lineNo),
+			Sign:   fields[0],
+			Object: strings.Join(fields[1:], " "),
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return xmlac.Policy{}, err
+	}
+	if err := policy.Validate(); err != nil {
+		return xmlac.Policy{}, err
+	}
+	return policy, nil
+}

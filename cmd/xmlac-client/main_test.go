@@ -1,0 +1,95 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlac"
+	"xmlac/internal/dataset"
+	"xmlac/internal/server"
+	"xmlac/internal/xmlstream"
+)
+
+// startServer registers a demo-style hospital document (default passphrase
+// convention, like xmlac-serve -demo) and returns its document URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Options{})
+	xml := xmlstream.SerializeTree(dataset.HospitalFolders(8, 5), false)
+	if _, err := srv.Store().RegisterXML("hospital", xml, "", xmlac.SchemeECBMHT); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL + "/docs/hospital"
+}
+
+// TestRunProfileAgainstServer is the end-to-end smoke test: the client
+// fetches a doctor view from a live server using the demo key convention and
+// writes it to a file.
+func TestRunProfileAgainstServer(t *testing.T) {
+	docURL := startServer(t)
+	out := filepath.Join(t.TempDir(), "view.xml")
+	if err := run(docURL, "", "doctor:DrA", "", "user", "", out, false, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := string(data)
+	if !strings.Contains(view, "<Admin>") || !strings.Contains(view, "DrA") {
+		t.Fatalf("doctor view misses expected content: %.300s", view)
+	}
+	if strings.Contains(view, "<SSN>") == false {
+		t.Fatalf("doctor view should include admin data: %.300s", view)
+	}
+}
+
+// TestRunRulesFile exercises the rules-file path and the query flag.
+func TestRunRulesFile(t *testing.T) {
+	docURL := startServer(t)
+	rules := filepath.Join(t.TempDir(), "rules.txt")
+	if err := os.WriteFile(rules, []byte("# admin only\n+ //Admin\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "view.xml")
+	if err := run(docURL, "", "", rules, "sec", "", out, false, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<Admin>") || strings.Contains(string(data), "<Details>") {
+		t.Fatalf("rules-file view wrong: %.300s", string(data))
+	}
+}
+
+// TestRunErrors: bad URL and bad profile fail cleanly.
+func TestRunErrors(t *testing.T) {
+	if err := run("http://127.0.0.1:1/docs/none", "x", "secretary", "", "user", "", "", false, false); err == nil {
+		t.Fatal("unreachable server must fail")
+	}
+	if _, err := buildPolicy("astronaut", "", "user"); err == nil {
+		t.Fatal("unknown profile must fail")
+	}
+	if _, err := buildPolicy("doctor", "", "user"); err == nil {
+		t.Fatal("doctor without physician must fail")
+	}
+}
+
+func TestDocID(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://h:1/docs/hospital":  "hospital",
+		"http://h:1/docs/hospital/": "hospital",
+		"hospital":                  "hospital",
+	} {
+		if got := docID(in); got != want {
+			t.Errorf("docID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

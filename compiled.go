@@ -80,6 +80,14 @@ var evalPool = sync.Pool{New: func() any { return &evalState{} }}
 // compile-once / evaluate-many fast path. It produces byte-identical views
 // and identical metrics to AuthorizedView with the source policy.
 func (p *Protected) AuthorizedViewCompiled(key Key, cp *CompiledPolicy, opts ViewOptions) (*Document, *Metrics, error) {
+	return authorizedViewOverSource(p.prot, key, cp, opts)
+}
+
+// authorizedViewOverSource runs the SOE pipeline (secure reader, Skip-index
+// decoder, streaming evaluator) over any chunk source: the in-memory
+// protected document (local evaluation) or a remote blob (OpenRemote), where
+// every ciphertext range the reader pulls is network transfer.
+func authorizedViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolicy, opts ViewOptions) (*Document, *Metrics, error) {
 	coreOpts, err := opts.coreOptions()
 	if err != nil {
 		return nil, nil, err
@@ -87,9 +95,9 @@ func (p *Protected) AuthorizedViewCompiled(key Key, cp *CompiledPolicy, opts Vie
 	st := evalPool.Get().(*evalState)
 	defer evalPool.Put(st)
 	if st.reader == nil {
-		st.reader, err = secure.NewReader(p.prot, key)
+		st.reader, err = secure.NewReader(src, key)
 	} else {
-		err = st.reader.Reset(p.prot, key)
+		err = st.reader.Reset(src, key)
 	}
 	if err != nil {
 		return nil, nil, err

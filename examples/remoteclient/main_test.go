@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun is the smoke test keeping the example from rotting: the remote
+// path must produce both views and report wire savings.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"view for secretary", "view for DrA", "wire:", "round trips"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "wire: 0 bytes") {
+		t.Fatalf("remote views should have transferred bytes:\n%s", out)
+	}
+}

@@ -190,7 +190,7 @@ func pickPhysician(r *rng) string {
 // medical acts (with details) and analysis results grouped by protocol group
 // G1..G10. Scale 1.0 produces roughly the 3.6 MB / 118k elements of Table 2.
 func Hospital(scale float64) *xmlstream.Node {
-	folders := int(1900 * scale)
+	folders := int(800 * scale)
 	if folders < 3 {
 		folders = 3
 	}
@@ -240,11 +240,17 @@ func HospitalFolders(folders int, seed uint64) *xmlstream.Node {
 				xmlstream.Elem("Id", "ACT"+r.digits(7)),
 				xmlstream.Elem("Date", fmt.Sprintf("2004-%02d-%02d", 1+r.intn(12), 1+r.intn(28))),
 				xmlstream.Elem("RPhys", pickPhysician(r)),
+				// Details carry the bulk of a folder: the clinical narrative
+				// only the responsible physician may read. Their size is what
+				// makes the Skip index pay off — a denied Details subtree is
+				// a contiguous run the SOE never transfers nor decrypts.
 				xmlstream.NewElement("Details",
 					xmlstream.Elem("VitalSigns", r.sentence(8)),
 					xmlstream.Elem("Symptoms", r.pick(symptoms)+", "+r.pick(symptoms)+", "+r.sentence(5)),
+					xmlstream.Elem("Anamnesis", r.sentence(18)),
 					xmlstream.Elem("Diagnostic", r.pick(diagnostics)+" "+r.sentence(3)),
-					xmlstream.Elem("Comments", r.sentence(22)),
+					xmlstream.Elem("Treatment", r.sentence(14)),
+					xmlstream.Elem("Comments", r.sentence(26)),
 				),
 			))
 		}

@@ -37,70 +37,81 @@ func (p *Protected) Marshal() []byte {
 	return out
 }
 
-// Unmarshal parses a marshalled protected document.
-func Unmarshal(data []byte) (*Protected, error) {
-	r := &byteReader{data: data}
+// unmarshalPrefix parses the container up to and including the ciphertext
+// length field, returning the document (without its ciphertext) and the
+// declared ciphertext length. On return r.pos is the ciphertext offset.
+func unmarshalPrefix(r *byteReader) (*Protected, uint64, error) {
 	magicBytes, err := r.take(4)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := range containerMagic {
 		if magicBytes[i] != containerMagic[i] {
-			return nil, fmt.Errorf("secure: not a protected document (bad magic)")
+			return nil, 0, fmt.Errorf("secure: not a protected document (bad magic)")
 		}
 	}
 	version, err := r.byte()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if version != containerVersion {
-		return nil, fmt.Errorf("secure: unsupported container version %d", version)
+		return nil, 0, fmt.Errorf("secure: unsupported container version %d", version)
 	}
 	schemeByte, err := r.byte()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &Protected{Scheme: Scheme(schemeByte)}
 	if p.Scheme < SchemeECB || p.Scheme > SchemeECBMHT {
-		return nil, fmt.Errorf("secure: unknown scheme %d", schemeByte)
+		return nil, 0, fmt.Errorf("secure: unknown scheme %d", schemeByte)
 	}
 	chunkSize, err := r.uint32()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	fragSize, err := r.uint32()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	plainLen, err := r.uint64()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.ChunkSize = int(chunkSize)
 	p.FragmentSize = int(fragSize)
 	p.PlainLen = int(plainLen)
 	nDigests, err := r.uint32()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if nDigests > 1<<26 {
-		return nil, fmt.Errorf("secure: implausible digest count %d", nDigests)
+		return nil, 0, fmt.Errorf("secure: implausible digest count %d", nDigests)
 	}
 	for i := uint32(0); i < nDigests; i++ {
 		l, err := r.uint32()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if l > 64 {
-			return nil, fmt.Errorf("secure: implausible digest length %d", l)
+			return nil, 0, fmt.Errorf("secure: implausible digest length %d", l)
 		}
 		d, err := r.take(int(l))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p.ChunkDigests = append(p.ChunkDigests, append([]byte(nil), d...))
 	}
 	ctLen, err := r.uint64()
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, ctLen, nil
+}
+
+// Unmarshal parses a marshalled protected document.
+func Unmarshal(data []byte) (*Protected, error) {
+	r := &byteReader{data: data}
+	p, ctLen, err := unmarshalPrefix(r)
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +124,42 @@ func Unmarshal(data []byte) (*Protected, error) {
 		return nil, fmt.Errorf("secure: plaintext length %d exceeds ciphertext length %d", p.PlainLen, len(p.Ciphertext))
 	}
 	return p, nil
+}
+
+// CiphertextOffset returns the byte offset of the ciphertext inside the
+// marshalled container: everything before it is the header and digest table
+// a remote client fetches once at open time.
+func (p *Protected) CiphertextOffset() int64 {
+	off := int64(len(containerMagic)) + 1 + 1 + 4 + 4 + 8 + 4
+	for _, d := range p.ChunkDigests {
+		off += 4 + int64(len(d))
+	}
+	return off + 8
+}
+
+// UnmarshalManifest parses the container prefix (the bytes before the
+// ciphertext: header and digest table) and returns the document manifest,
+// the encrypted digest table and the ciphertext offset within the container.
+// The prefix must extend at least up to the ciphertext offset; trailing
+// ciphertext bytes, if present, are ignored.
+func UnmarshalManifest(prefix []byte) (Manifest, [][]byte, int64, error) {
+	r := &byteReader{data: prefix}
+	p, ctLen, err := unmarshalPrefix(r)
+	if err != nil {
+		return Manifest{}, nil, 0, err
+	}
+	if int64(p.PlainLen) > int64(ctLen) {
+		return Manifest{}, nil, 0, fmt.Errorf("secure: plaintext length %d exceeds ciphertext length %d", p.PlainLen, ctLen)
+	}
+	man := Manifest{
+		Scheme:        p.Scheme,
+		ChunkSize:     p.ChunkSize,
+		FragmentSize:  p.FragmentSize,
+		PlainLen:      p.PlainLen,
+		CiphertextLen: int64(ctLen),
+		NumDigests:    len(p.ChunkDigests),
+	}
+	return man, p.ChunkDigests, int64(r.pos), nil
 }
 
 func appendUint32(b []byte, v uint32) []byte {

@@ -175,23 +175,18 @@ func merkleCombine(level [][DigestSize]byte) [DigestSize]byte {
 	return level[0]
 }
 
-// merklePath returns, for a chunk and a set of leaf indexes the verifier has
-// hashed itself, the sibling hashes the terminal must provide so the
-// verifier can recompute the root. For simplicity the terminal provides the
-// hash of every fragment the SOE did not fetch (a flat co-path); the hash
-// count is what the cost model charges.
-func merklePath(chunk []byte, fragmentSize int, fetched map[int]bool) map[int][DigestSize]byte {
-	out := map[int][DigestSize]byte{}
-	idx := 0
+// fragmentHashes returns the leaf hash of every fragment of a chunk: the
+// terminal side of the Merkle protocol. The verifier takes from it the
+// siblings of the fragments it hashed itself (a flat co-path; the cost model
+// charges the logarithmic co-path of the paper) and recomputes the root.
+func fragmentHashes(chunk []byte, fragmentSize int) [][DigestSize]byte {
+	out := make([][DigestSize]byte, 0, (len(chunk)+fragmentSize-1)/fragmentSize)
 	for off := 0; off < len(chunk); off += fragmentSize {
 		end := off + fragmentSize
 		if end > len(chunk) {
 			end = len(chunk)
 		}
-		if !fetched[idx] {
-			out[idx] = sha1.Sum(chunk[off:end])
-		}
-		idx++
+		out = append(out, sha1.Sum(chunk[off:end]))
 	}
 	return out
 }

@@ -41,11 +41,16 @@ func (c *Costs) Add(o Costs) {
 
 // Reader is the SOE-side secure reader: it exposes the protected document as
 // a plaintext io.ReaderAt (the interface the Skip-index decoder consumes),
-// fetching ciphertext from the untrusted terminal on demand, decrypting only
-// what is needed and verifying integrity according to the protection scheme.
+// fetching ciphertext from the untrusted terminal on demand through a
+// ChunkSource, decrypting only what is needed and verifying integrity
+// according to the protection scheme. With the in-memory *Protected source
+// the terminal is simulated; with a remote source (internal/remote) every
+// CiphertextRange call translates into network transfer, so the bytes the
+// Skip index avoids are bytes that never cross the wire.
 // It implements skipindex.ByteSource.
 type Reader struct {
-	prot  *Protected
+	src   ChunkSource
+	man   Manifest
 	key   Key
 	block cipher.Block
 
@@ -110,10 +115,10 @@ func (r *Reader) ctCachePut(frag, from, to int64) {
 // inCtCache reports whether the ciphertext byte at the given offset is still
 // held by the SOE from a previous fragment verification.
 func (r *Reader) inCtCache(off int64) bool {
-	if r.prot.FragmentSize == 0 {
+	if r.man.FragmentSize == 0 {
 		return false
 	}
-	rng, ok := r.ctCache[off/int64(r.prot.FragmentSize)]
+	rng, ok := r.ctCache[off/int64(r.man.FragmentSize)]
 	return ok && off >= rng[0] && off < rng[1]
 }
 
@@ -141,22 +146,23 @@ func (r *Reader) cachePut(block int64, plain []byte) {
 	r.blockCache[block] = plain
 }
 
-// NewReader builds a secure reader over a protected document.
-func NewReader(prot *Protected, key Key) (*Reader, error) {
+// NewReader builds a secure reader over a chunk source (an in-memory
+// *Protected document or a remote blob).
+func NewReader(src ChunkSource, key Key) (*Reader, error) {
 	r := &Reader{}
-	if err := r.Reset(prot, key); err != nil {
+	if err := r.Reset(src, key); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// Reset re-arms the reader over a (possibly different) protected document and
+// Reset re-arms the reader over a (possibly different) chunk source and
 // key, reusing the verification and cache tables of the previous run instead
 // of reallocating them. The block cipher is rebuilt only when the key
 // changes. Reset makes the reader sync.Pool-friendly: a server evaluating
 // many views over protected documents pays the map allocations once per
 // pooled reader.
-func (r *Reader) Reset(prot *Protected, key Key) error {
+func (r *Reader) Reset(src ChunkSource, key Key) error {
 	if r.block == nil || !bytes.Equal(r.key, key) {
 		block, err := blockCipher(key)
 		if err != nil {
@@ -165,7 +171,8 @@ func (r *Reader) Reset(prot *Protected, key Key) error {
 		r.block = block
 		r.key = append(r.key[:0], key...)
 	}
-	r.prot = prot
+	r.src = src
+	r.man = src.Manifest()
 	r.costs = Costs{}
 	r.justFetched = nil
 	if r.verifiedChunks == nil {
@@ -198,19 +205,19 @@ func (r *Reader) Reset(prot *Protected, key Key) error {
 func (r *Reader) Costs() Costs { return r.costs }
 
 // Size implements skipindex.ByteSource.
-func (r *Reader) Size() int64 { return int64(r.prot.PlainLen) }
+func (r *Reader) Size() int64 { return int64(r.man.PlainLen) }
 
 // ReadAt implements io.ReaderAt over the plaintext.
 func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("secure: negative offset")
 	}
-	if off >= int64(r.prot.PlainLen) {
+	if off >= int64(r.man.PlainLen) {
 		return 0, io.EOF
 	}
 	n := len(p)
-	if off+int64(n) > int64(r.prot.PlainLen) {
-		n = int(int64(r.prot.PlainLen) - off)
+	if off+int64(n) > int64(r.man.PlainLen) {
+		n = int(int64(r.man.PlainLen) - off)
 	}
 	if n == 0 {
 		return 0, nil
@@ -234,10 +241,10 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 func (r *Reader) readBlocks(first, last int64) ([]byte, error) {
 	start := first * BlockSize
 	end := (last + 1) * BlockSize
-	if end > int64(len(r.prot.Ciphertext)) {
-		end = int64(len(r.prot.Ciphertext))
+	if end > r.man.CiphertextLen {
+		end = r.man.CiphertextLen
 	}
-	switch r.prot.Scheme {
+	switch r.man.Scheme {
 	case SchemeECB:
 		return r.readECB(start, end, first)
 	case SchemeECBMHT:
@@ -250,7 +257,7 @@ func (r *Reader) readBlocks(first, last int64) ([]byte, error) {
 	case SchemeCBCSHAC:
 		return r.readCBC(start, end, false)
 	default:
-		return nil, fmt.Errorf("secure: unknown scheme %v", r.prot.Scheme)
+		return nil, fmt.Errorf("secure: unknown scheme %v", r.man.Scheme)
 	}
 }
 
@@ -265,7 +272,10 @@ func (r *Reader) readECB(start, end, firstBlock int64) ([]byte, error) {
 			out = append(out, plain...)
 			continue
 		}
-		ct := r.prot.Ciphertext[off : off+BlockSize]
+		ct, err := r.src.CiphertextRange(off, BlockSize)
+		if err != nil {
+			return nil, err
+		}
 		if !r.justFetched[blockIdx] && !r.inCtCache(off) {
 			r.costs.BytesTransferred += BlockSize
 		}
@@ -284,11 +294,10 @@ func (r *Reader) readECB(start, end, firstBlock int64) ([]byte, error) {
 // the terminal provides the hashes of the other fragments, and the SOE
 // recomputes and compares the (decrypted) chunk digest.
 func (r *Reader) verifyMHT(start, end int64) error {
-	chunkSize := int64(r.prot.ChunkSize)
-	fragSize := int64(r.prot.FragmentSize)
+	chunkSize := int64(r.man.ChunkSize)
+	fragSize := int64(r.man.FragmentSize)
 	for chunk := int(start / chunkSize); chunk <= int((end-1)/chunkSize); chunk++ {
-		cStart, cEnd := r.prot.chunkBounds(chunk)
-		chunkBytes := r.prot.Ciphertext[cStart:cEnd]
+		cStart, cEnd := r.man.ChunkBounds(chunk)
 		frags := r.verifiedFragments[chunk]
 		if frags == nil {
 			frags = map[int]bool{}
@@ -297,15 +306,15 @@ func (r *Reader) verifyMHT(start, end int64) error {
 		// Fragments of this chunk overlapped by the requested range and not
 		// yet verified.
 		lo := start
-		if int64(cStart) > lo {
-			lo = int64(cStart)
+		if cStart > lo {
+			lo = cStart
 		}
 		hi := end
-		if int64(cEnd) < hi {
-			hi = int64(cEnd)
+		if cEnd < hi {
+			hi = cEnd
 		}
 		var newFrags []int
-		for f := int((lo - int64(cStart)) / fragSize); f <= int((hi-1-int64(cStart))/fragSize); f++ {
+		for f := int((lo - cStart) / fragSize); f <= int((hi-1-cStart)/fragSize); f++ {
 			if !frags[f] {
 				newFrags = append(newFrags, f)
 			}
@@ -328,30 +337,33 @@ func (r *Reader) verifyMHT(start, end int64) error {
 			r.justFetched = map[int64]bool{}
 		}
 		for _, f := range newFrags {
-			fStart := cStart + f*int(fragSize)
-			fEnd := fStart + int(fragSize)
+			fStart := cStart + int64(f)*fragSize
+			fEnd := fStart + fragSize
 			if fEnd > cEnd {
 				fEnd = cEnd
 			}
-			frag := r.prot.Ciphertext[fStart:fEnd]
-			fetchFrom := int64(fStart)
-			if start > fetchFrom && start < int64(fEnd) {
+			frag, err := r.src.CiphertextRange(fStart, fEnd-fStart)
+			if err != nil {
+				return err
+			}
+			fetchFrom := fStart
+			if start > fetchFrom && start < fEnd {
 				fetchFrom = start
 			}
-			suffix := int64(fEnd) - fetchFrom
+			suffix := fEnd - fetchFrom
 			r.costs.BytesTransferred += suffix
 			r.costs.BytesHashed += suffix
-			if fetchFrom > int64(fStart) {
+			if fetchFrom > fStart {
 				// Intermediate SHA-1 state of the prefix, computed by the
 				// terminal.
 				r.costs.BytesTransferred += 24
 			}
-			for b := fetchFrom / BlockSize; b < int64(fEnd)/BlockSize; b++ {
+			for b := fetchFrom / BlockSize; b < fEnd/BlockSize; b++ {
 				r.justFetched[b] = true
 			}
 			// The transferred ciphertext stays in the SOE for the next few
 			// reads so it is not paid for twice.
-			r.ctCachePut(int64(cStart)/fragSize+int64(f), fetchFrom, int64(fEnd))
+			r.ctCachePut(cStart/fragSize+int64(f), fetchFrom, fEnd)
 			leaves[f] = sha1.Sum(frag)
 			r.costs.FragmentsVerified++
 		}
@@ -360,19 +372,26 @@ func (r *Reader) verifyMHT(start, end int64) error {
 		// (the flat implementation below exchanges the missing leaves, but
 		// the cost charged is the logarithmic co-path of the paper; the leaf
 		// cache makes later verifications of the same chunk cheaper).
-		known := map[int]bool{}
-		for f := range leaves {
-			known[f] = true
+		all, err := r.src.FragmentHashes(chunk)
+		if err != nil {
+			return err
 		}
-		siblings := merklePath(chunkBytes, int(fragSize), known)
-		numFrags := (len(chunkBytes) + int(fragSize) - 1) / int(fragSize)
+		numFrags := len(all)
+		missing := 0
+		for f := 0; f < numFrags; f++ {
+			if _, ok := leaves[f]; !ok {
+				missing++
+			}
+		}
 		coPath := int64(bitsLen(numFrags))
-		if int64(len(siblings)) < coPath {
-			coPath = int64(len(siblings))
+		if int64(missing) < coPath {
+			coPath = int64(missing)
 		}
 		r.costs.BytesTransferred += coPath * DigestSize
-		for f, h := range siblings {
-			leaves[f] = h
+		for f := 0; f < numFrags; f++ {
+			if _, ok := leaves[f]; !ok {
+				leaves[f] = all[f]
+			}
 		}
 		// Recompute the root.
 		ordered := make([][DigestSize]byte, numFrags)
@@ -405,10 +424,13 @@ func (r *Reader) chunkDigest(chunk int) ([]byte, error) {
 	if d, ok := r.digestCache[chunk]; ok {
 		return d, nil
 	}
-	if chunk >= len(r.prot.ChunkDigests) {
+	if chunk >= r.man.NumDigests {
 		return nil, fmt.Errorf("%w: missing digest for chunk %d", ErrIntegrity, chunk)
 	}
-	enc := r.prot.ChunkDigests[chunk]
+	enc, err := r.src.ChunkDigest(chunk)
+	if err != nil {
+		return nil, err
+	}
 	r.costs.BytesTransferred += int64(len(enc))
 	r.costs.BytesDecrypted += int64(len(enc))
 	r.costs.DigestsDecrypted++
@@ -422,14 +444,14 @@ func (r *Reader) chunkDigest(chunk int) ([]byte, error) {
 // decryption required), CBC-SHAC hashes the ciphertext (whole-chunk transfer
 // but partial decryption).
 func (r *Reader) readCBC(start, end int64, hashPlaintext bool) ([]byte, error) {
-	chunkSize := int64(r.prot.ChunkSize)
+	chunkSize := int64(r.man.ChunkSize)
 	var out []byte
 	for chunk := int(start / chunkSize); chunk <= int((end-1)/chunkSize); chunk++ {
-		cStart, cEnd := r.prot.chunkBounds(chunk)
-		chunkBytes := r.prot.Ciphertext[cStart:cEnd]
+		cStart, cEnd := r.man.ChunkBounds(chunk)
+		chunkLen := cEnd - cStart
 		wholeChunkTransferred := false
 		if !r.verifiedChunks[chunk] {
-			r.costs.BytesTransferred += int64(len(chunkBytes))
+			r.costs.BytesTransferred += chunkLen
 			wholeChunkTransferred = true
 			digest, err := r.chunkDigest(chunk)
 			if err != nil {
@@ -437,12 +459,19 @@ func (r *Reader) readCBC(start, end int64, hashPlaintext bool) ([]byte, error) {
 			}
 			var computed [DigestSize]byte
 			if hashPlaintext {
-				plain := r.decryptCBCChunk(chunk)
-				r.costs.BytesDecrypted += int64(len(chunkBytes))
+				plain, err := r.decryptCBCChunk(chunk)
+				if err != nil {
+					return nil, err
+				}
+				r.costs.BytesDecrypted += chunkLen
 				r.costs.BytesHashed += int64(len(plain))
 				computed = sha1.Sum(plain)
 			} else {
-				r.costs.BytesHashed += int64(len(chunkBytes))
+				chunkBytes, err := r.src.CiphertextRange(cStart, chunkLen)
+				if err != nil {
+					return nil, err
+				}
+				r.costs.BytesHashed += chunkLen
 				computed = sha1.Sum(chunkBytes)
 			}
 			if !bytes.Equal(computed[:], digest) {
@@ -453,18 +482,22 @@ func (r *Reader) readCBC(start, end int64, hashPlaintext bool) ([]byte, error) {
 		}
 		// Serve the requested sub-range of this chunk.
 		lo := start
-		if int64(cStart) > lo {
-			lo = int64(cStart)
+		if cStart > lo {
+			lo = cStart
 		}
 		hi := end
-		if int64(cEnd) < hi {
-			hi = int64(cEnd)
+		if cEnd < hi {
+			hi = cEnd
 		}
 		// CBC random access needs the preceding ciphertext block.
 		firstBlock := lo / BlockSize
 		prev := make([]byte, BlockSize)
 		if firstBlock > 0 {
-			copy(prev, r.prot.Ciphertext[(firstBlock-1)*BlockSize:firstBlock*BlockSize])
+			pb, err := r.src.CiphertextRange((firstBlock-1)*BlockSize, BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			copy(prev, pb)
 			if !wholeChunkTransferred {
 				r.costs.BytesTransferred += BlockSize
 			}
@@ -488,9 +521,17 @@ func (r *Reader) readCBC(start, end int64, hashPlaintext bool) ([]byte, error) {
 			if off == lo {
 				prevBlock = prev
 			} else {
-				prevBlock = r.prot.Ciphertext[off-BlockSize : off]
+				pb, err := r.src.CiphertextRange(off-BlockSize, BlockSize)
+				if err != nil {
+					return nil, err
+				}
+				prevBlock = pb
 			}
-			plain := decryptCBCRange(r.block, r.prot.Ciphertext[off:off+BlockSize], uint64(blockIdx), prevBlock)
+			ct, err := r.src.CiphertextRange(off, BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			plain := decryptCBCRange(r.block, ct, uint64(blockIdx), prevBlock)
 			r.cachePut(blockIdx, plain)
 			out = append(out, plain...)
 		}
@@ -508,32 +549,49 @@ func bitsLen(n int) int {
 }
 
 // decryptCBCChunk decrypts a whole chunk (CBC-SHA verification path).
-func (r *Reader) decryptCBCChunk(chunk int) []byte {
-	cStart, cEnd := r.prot.chunkBounds(chunk)
-	firstBlock := int64(cStart) / BlockSize
+func (r *Reader) decryptCBCChunk(chunk int) ([]byte, error) {
+	cStart, cEnd := r.man.ChunkBounds(chunk)
+	firstBlock := cStart / BlockSize
 	prev := make([]byte, BlockSize)
 	if firstBlock > 0 {
-		copy(prev, r.prot.Ciphertext[(firstBlock-1)*BlockSize:firstBlock*BlockSize])
+		pb, err := r.src.CiphertextRange((firstBlock-1)*BlockSize, BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		copy(prev, pb)
 	} else {
 		iv := sha1.Sum(append([]byte("xmlac-iv"), r.key...))
 		copy(prev, iv[:BlockSize])
 	}
-	return decryptCBCRange(r.block, r.prot.Ciphertext[cStart:cEnd], uint64(firstBlock), prev)
+	ct, err := r.src.CiphertextRange(cStart, cEnd-cStart)
+	if err != nil {
+		return nil, err
+	}
+	return decryptCBCRange(r.block, ct, uint64(firstBlock), prev), nil
 }
 
 // Decrypt fully decrypts a protected document (publisher-side utility and
 // test helper; verifies every chunk on the way).
 func Decrypt(prot *Protected, key Key) ([]byte, error) {
-	r, err := NewReader(prot, key)
+	return DecryptSource(prot, key)
+}
+
+// DecryptSource fully decrypts a protected document served through any chunk
+// source (e.g. a remote blob), verifying every chunk on the way: the
+// brute-force client that transfers everything, against which the
+// skip-driven remote reader is benchmarked.
+func DecryptSource(src ChunkSource, key Key) ([]byte, error) {
+	r, err := NewReader(src, key)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, prot.PlainLen)
+	plainLen := r.man.PlainLen
+	out := make([]byte, plainLen)
 	const step = 4096
-	for off := 0; off < prot.PlainLen; off += step {
+	for off := 0; off < plainLen; off += step {
 		n := step
-		if off+n > prot.PlainLen {
-			n = prot.PlainLen - off
+		if off+n > plainLen {
+			n = plainLen - off
 		}
 		if _, err := r.ReadAt(out[off:off+n], int64(off)); err != nil && err != io.EOF {
 			return nil, err

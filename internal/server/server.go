@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -86,8 +87,16 @@ func (s *Server) Cache() *PolicyCache { return s.cache }
 //	PUT    /docs/{id}/policies/{subject}   install a subject's policy (body: JSON)
 //	GET    /docs/{id}/policies/{subject}   policy info
 //	GET    /docs/{id}/view?subject=S       stream the subject's authorized view
+//	GET    /docs/{id}/manifest             public layout (scheme, chunking, sizes)
+//	GET    /docs/{id}/blob                 encrypted container (Range, ETag)
+//	GET    /docs/{id}/hashes?chunk=N       fragment hashes of one chunk (ECB-MHT)
 //	GET    /metrics                        aggregated counters
 //	GET    /healthz                        liveness
+//
+// The last three form the untrusted-blob surface of the paper's client-based
+// deployment: the server never sees the key; a remote SOE (xmlac.OpenRemote)
+// pulls ciphertext ranges, digests and Merkle hashes and evaluates the
+// policy on the client, so skipped bytes never cross the wire.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /docs/{id}", s.handlePutDoc)
@@ -97,6 +106,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /docs/{id}/policies/{subject}", s.handlePutPolicy)
 	mux.HandleFunc("GET /docs/{id}/policies/{subject}", s.handleGetPolicy)
 	mux.HandleFunc("GET /docs/{id}/view", s.handleView)
+	mux.HandleFunc("GET /docs/{id}/manifest", s.handleManifest)
+	mux.HandleFunc("GET /docs/{id}/blob", s.handleBlob)
+	mux.HandleFunc("GET /docs/{id}/hashes", s.handleFragmentHashes)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -357,6 +369,73 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	}
 	// An empty authorized view is a legitimate outcome of the closed policy:
 	// the body is empty and the headers carry the metrics.
+}
+
+// handleManifest publishes the document layout a remote SOE needs before it
+// can issue range requests: scheme, chunking, sizes, the ciphertext offset
+// inside the blob and the blob's entity tag.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	_, etag := entry.Blob()
+	w.Header().Set("ETag", etag)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"document": entry.ID,
+		"etag":     etag,
+		"manifest": entry.Manifest(),
+	})
+}
+
+// handleBlob range-serves the encrypted container. http.ServeContent
+// provides single- and multi-range responses (206 / multipart/byteranges),
+// If-None-Match revalidation (304 against the ETag set below) and If-Range
+// guards, so a remote chunk cache revalidates for free.
+func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	blob, etag := entry.Blob()
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, "", entry.CreatedAt, bytes.NewReader(blob))
+}
+
+// handleFragmentHashes serves the ciphertext fragment hashes of one chunk
+// (?chunk=N) as DigestSize-byte records: the untrusted-terminal half of the
+// ECB-MHT Merkle protocol. The hashes are over public ciphertext; the SOE
+// verifies them against the decrypted chunk digest.
+func (s *Server) handleFragmentHashes(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	chunk, err := strconv.Atoi(r.URL.Query().Get("chunk"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "missing or invalid %q query parameter", "chunk")
+		return
+	}
+	hashes, err := entry.FragmentHashes(chunk)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, etag := entry.Blob()
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Xmlac-Fragment-Count", strconv.Itoa(len(hashes)))
+	w.WriteHeader(http.StatusOK)
+	for _, hash := range hashes {
+		if _, err := w.Write(hash); err != nil {
+			return // client went away
+		}
+	}
 }
 
 func (s *Server) addTotals(m *xmlac.Metrics) {

@@ -296,6 +296,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	if payload.Totals.BytesTransferred == 0 || payload.Totals.NodesPermitted == 0 {
 		t.Fatalf("aggregated totals missing: %s", body)
 	}
+	// The wire counters are part of the report (0 for server-local
+	// evaluations; remote SOE clients never route through /view).
+	if !strings.Contains(body, "BytesOnWire") || !strings.Contains(body, "RoundTrips") {
+		t.Fatalf("metrics report misses wire counters: %s", body)
+	}
+	if payload.Totals.BytesOnWire != 0 || payload.Totals.RoundTrips != 0 {
+		t.Fatalf("local evaluations must not count wire bytes: %+v", payload.Totals)
+	}
 	if len(payload.Sessions) != 1 || payload.Sessions[0].Views != 3 {
 		t.Fatalf("session aggregation wrong: %s", body)
 	}
@@ -336,5 +344,161 @@ func TestEmptyViewStreamsEmptyBody(t *testing.T) {
 	resp, body := do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=u", "")
 	if resp.StatusCode != http.StatusOK || body != "" {
 		t.Fatalf("empty view: %d %q, want 200 with empty body", resp.StatusCode, body)
+	}
+}
+
+// TestBlobEndpoint covers the untrusted-blob surface: full download, ETag
+// revalidation (304), single range (206) and multi-range (multipart)
+// requests.
+func TestBlobEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDoc(t, ts, "hospital", hospitalXML(6))
+	entry, err := srv.Store().Entry("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, etag := entry.Blob()
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/hospital/blob", "")
+	if resp.StatusCode != http.StatusOK || body != string(blob) {
+		t.Fatalf("full blob GET: %d, %d bytes (want %d)", resp.StatusCode, len(body), len(blob))
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("blob ETag %q, want %q", got, etag)
+	}
+
+	// If-None-Match with the current tag revalidates for free.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/docs/hospital/blob", nil)
+	req.Header.Set("If-None-Match", etag)
+	condResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, condResp.Body)
+	condResp.Body.Close()
+	if condResp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match: %d, want 304", condResp.StatusCode)
+	}
+
+	// Single range.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/docs/hospital/blob", nil)
+	req.Header.Set("Range", "bytes=10-41")
+	rangeResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := io.ReadAll(rangeResp.Body)
+	rangeResp.Body.Close()
+	if rangeResp.StatusCode != http.StatusPartialContent || !bytes.Equal(part, blob[10:42]) {
+		t.Fatalf("range GET: %d, %d bytes", rangeResp.StatusCode, len(part))
+	}
+
+	// Multi-range: two spans come back as multipart/byteranges.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/docs/hospital/blob", nil)
+	req.Header.Set("Range", "bytes=0-15,64-95")
+	multiResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiBody, _ := io.ReadAll(multiResp.Body)
+	multiResp.Body.Close()
+	if multiResp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("multi-range GET: %d, want 206", multiResp.StatusCode)
+	}
+	if ct := multiResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "multipart/byteranges") {
+		t.Fatalf("multi-range content type %q", ct)
+	}
+	if !bytes.Contains(multiBody, blob[0:16]) || !bytes.Contains(multiBody, blob[64:96]) {
+		t.Fatal("multipart body misses a requested span")
+	}
+
+	resp, _ = do(t, http.MethodGet, ts.URL+"/docs/nope/blob", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown doc blob: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestManifestEndpoint checks the published layout against the library's
+// view of the same document.
+func TestManifestEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDoc(t, ts, "hospital", hospitalXML(6))
+	entry, err := srv.Store().Entry("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, etag := entry.Blob()
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/hospital/manifest", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest: %d %s", resp.StatusCode, body)
+	}
+	var payload struct {
+		Document string                 `json:"document"`
+		ETag     string                 `json:"etag"`
+		Manifest xmlac.DocumentManifest `json:"manifest"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("decoding manifest: %v\n%s", err, body)
+	}
+	if payload.Document != "hospital" || payload.ETag != etag {
+		t.Fatalf("manifest identity wrong: %s", body)
+	}
+	m := payload.Manifest
+	if m.Scheme != xmlac.SchemeECBMHT || m.ChunkSize == 0 || m.FragmentSize == 0 {
+		t.Fatalf("manifest layout wrong: %+v", m)
+	}
+	if m.BlobSize != int64(len(blob)) || m.CiphertextOffset+m.CiphertextLen != m.BlobSize {
+		t.Fatalf("manifest sizes inconsistent with blob: %+v (blob %d)", m, len(blob))
+	}
+	if m.NumChunks == 0 || m.NumDigests != m.NumChunks {
+		t.Fatalf("manifest chunk counts wrong: %+v", m)
+	}
+
+	resp, _ = do(t, http.MethodGet, ts.URL+"/docs/nope/manifest", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown doc manifest: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFragmentHashesEndpoint checks the served hashes against a direct
+// computation over the blob's ciphertext.
+func TestFragmentHashesEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDoc(t, ts, "hospital", hospitalXML(6))
+	entry, err := srv.Store().Entry("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := entry.Manifest()
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/hospital/hashes?chunk=0", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hashes: %d %s", resp.StatusCode, body)
+	}
+	want, err := entry.FragmentHashes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(want)*len(want[0]) {
+		t.Fatalf("hashes body %d bytes, want %d fragments x %d", len(body), len(want), len(want[0]))
+	}
+	for i, h := range want {
+		if !bytes.Equal([]byte(body[i*len(h):(i+1)*len(h)]), h) {
+			t.Fatalf("fragment %d hash differs", i)
+		}
+	}
+	// Chunk bounds are partially filled at the tail: the last chunk may have
+	// fewer fragments, but never zero.
+	resp, body = do(t, http.MethodGet, ts.URL+fmt.Sprintf("/docs/hospital/hashes?chunk=%d", man.NumChunks-1), "")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("last chunk hashes: %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	for _, bad := range []string{"?chunk=-1", fmt.Sprintf("?chunk=%d", man.NumChunks), "", "?chunk=x"} {
+		resp, _ = do(t, http.MethodGet, ts.URL+"/docs/hospital/hashes"+bad, "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("hashes%s: %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }

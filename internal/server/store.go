@@ -1,6 +1,8 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -41,6 +43,13 @@ type DocumentEntry struct {
 	prot *xmlac.Protected
 	key  xmlac.Key
 
+	// blob is the marshalled protected container (what an untrusted blob
+	// server stores and range-serves to remote SOE clients); etag is its
+	// strong entity tag (quoted SHA-256 of the content), sent on
+	// GET /docs/{id}/blob and checked against If-None-Match / If-Range.
+	blob []byte
+	etag string
+
 	mu       sync.RWMutex
 	policies map[string]PolicyRecord
 }
@@ -80,6 +89,8 @@ func (s *Store) RegisterXML(id, xmlText, passphrase string, scheme xmlac.Scheme)
 	if err != nil {
 		return nil, fmt.Errorf("server: protecting document %q: %w", id, err)
 	}
+	blob := prot.Marshal()
+	sum := sha256.Sum256(blob)
 	entry := &DocumentEntry{
 		ID:        id,
 		Scheme:    scheme,
@@ -87,6 +98,8 @@ func (s *Store) RegisterXML(id, xmlText, passphrase string, scheme xmlac.Scheme)
 		CreatedAt: time.Now(),
 		prot:      prot,
 		key:       key,
+		blob:      blob,
+		etag:      `"` + hex.EncodeToString(sum[:]) + `"`,
 		policies:  make(map[string]PolicyRecord),
 	}
 	s.mu.Lock()
@@ -195,4 +208,17 @@ func (e *DocumentEntry) Subjects() []string {
 // the authorized view with its metrics.
 func (e *DocumentEntry) View(cp *xmlac.CompiledPolicy, opts xmlac.ViewOptions) (*xmlac.Document, *xmlac.Metrics, error) {
 	return e.prot.AuthorizedViewCompiled(e.key, cp, opts)
+}
+
+// Blob returns the marshalled protected container and its strong ETag. Both
+// are immutable after registration.
+func (e *DocumentEntry) Blob() ([]byte, string) { return e.blob, e.etag }
+
+// Manifest returns the public layout of the protected document.
+func (e *DocumentEntry) Manifest() xmlac.DocumentManifest { return e.prot.Manifest() }
+
+// FragmentHashes returns the ciphertext fragment hashes of one chunk (the
+// untrusted-terminal side of the ECB-MHT Merkle protocol).
+func (e *DocumentEntry) FragmentHashes(chunk int) ([][]byte, error) {
+	return e.prot.FragmentHashes(chunk)
 }

@@ -1,0 +1,128 @@
+package xmlac
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"xmlac/internal/remote"
+)
+
+// RemoteDocument is a client-side SOE handle to a protected document stored
+// as an opaque blob on an untrusted server (an xmlac-serve instance): the
+// paper's deployment model. The server holds only ciphertext, encrypted
+// digests and public fragment hashes — never the key — and the policy is
+// evaluated here, on the client, so the bytes the Skip index prunes are
+// never transferred at all.
+//
+// Evaluations on one RemoteDocument are serialized (they share the wire
+// counters and the chunk cache); open one RemoteDocument per concurrent
+// client instead.
+type RemoteDocument struct {
+	src *remote.Source
+	key Key
+
+	// mu serializes evaluations so each view's wire delta is attributed to
+	// exactly one evaluation.
+	mu sync.Mutex
+}
+
+// RemoteOptions tunes OpenRemoteOptions.
+type RemoteOptions struct {
+	// PageSize is the transfer/cache granularity in bytes (0 selects the
+	// internal default, 256 — the ECB-MHT fragment size, the natural
+	// transfer quantum under integrity checking).
+	PageSize int
+	// GapThreshold merges range requests whose gap is at most this many
+	// bytes (0 selects the page size; negative merges only adjacent ranges).
+	GapThreshold int
+	// ReadAhead is the number of pages prefetched past each fetched range
+	// when the access pattern is sequential. Zero or negative leaves
+	// read-ahead off (the default): Skip-index evaluation interleaves short
+	// reads with short jumps, which defeats naive prefetch. Enable it for
+	// clients that scan documents front to back.
+	ReadAhead int
+	// CacheCapacity is the number of pages kept in the client chunk cache
+	// (0 selects the internal default, 2048).
+	CacheCapacity int
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// OpenRemote connects to a protected document served by an untrusted blob
+// server, e.g. OpenRemote("http://host:8080/docs/hospital", key). It fetches
+// the manifest and digest table (two round trips); document bytes are then
+// pulled lazily, as range requests, while views are evaluated.
+func OpenRemote(url string, key Key) (*RemoteDocument, error) {
+	return OpenRemoteOptions(url, key, RemoteOptions{})
+}
+
+// OpenRemoteOptions is OpenRemote with explicit transfer tuning.
+func OpenRemoteOptions(url string, key Key, opts RemoteOptions) (*RemoteDocument, error) {
+	src, err := remote.Open(url, remote.Options{
+		PageSize:      opts.PageSize,
+		GapThreshold:  opts.GapThreshold,
+		ReadAhead:     opts.ReadAhead,
+		CacheCapacity: opts.CacheCapacity,
+		HTTPClient:    opts.HTTPClient,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("xmlac: opening remote document: %w", err)
+	}
+	return &RemoteDocument{src: src, key: key}, nil
+}
+
+// Size returns the size in bytes of the remote encrypted document (the
+// ciphertext the brute-force client would download in full).
+func (d *RemoteDocument) Size() int { return int(d.src.Manifest().CiphertextLen) }
+
+// ETag returns the entity tag of the blob this document is bound to.
+func (d *RemoteDocument) ETag() string { return d.src.ETag() }
+
+// WireStats returns the cumulative bytes-on-wire and round-trip counts since
+// the document was opened (the per-view deltas are in Metrics).
+func (d *RemoteDocument) WireStats() (bytesOnWire, roundTrips int64) {
+	st := d.src.Stats()
+	return st.BytesOnWire, st.RoundTrips
+}
+
+// Revalidate checks cheaply (a conditional 1-byte range request answered
+// with 304 Not Modified when nothing changed) that the server still holds
+// the blob this document was opened against, flushing and reloading the
+// client caches if it was replaced. It reports whether the document changed.
+func (d *RemoteDocument) Revalidate() (changed bool, err error) {
+	// Serialized with evaluations: a cache flush mid-view would yank the
+	// manifest from under the reader, and the conditional request's traffic
+	// would be charged to the in-flight view's wire delta.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.src.Revalidate()
+}
+
+// AuthorizedView evaluates the policy (and optional query) over the remote
+// document: the SOE pipeline runs locally, ciphertext is pulled through HTTP
+// range requests, and prohibited subtrees are skipped over the wire. The
+// returned Metrics carry BytesOnWire and RoundTrips for this evaluation on
+// top of the usual SOE cost counters.
+func (d *RemoteDocument) AuthorizedView(policy Policy, opts ViewOptions) (*Document, *Metrics, error) {
+	compiled, err := policy.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.AuthorizedViewCompiled(compiled, opts)
+}
+
+// AuthorizedViewCompiled is AuthorizedView for a pre-compiled policy.
+func (d *RemoteDocument) AuthorizedViewCompiled(cp *CompiledPolicy, opts ViewOptions) (*Document, *Metrics, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	before := d.src.Stats()
+	view, metrics, err := authorizedViewOverSource(d.src, d.key, cp, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	after := d.src.Stats()
+	metrics.BytesOnWire = after.BytesOnWire - before.BytesOnWire
+	metrics.RoundTrips = after.RoundTrips - before.RoundTrips
+	return view, metrics, nil
+}

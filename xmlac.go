@@ -55,6 +55,26 @@
 // keyed on (document, subject, policy hash). GET /metrics aggregates the
 // Metrics counters of every evaluation across requests and sessions.
 //
+// # Remote SOE
+//
+// The deployment model of the paper keeps the server untrusted: it stores
+// only the encrypted container, and the SOE holding the key runs on the
+// client. OpenRemote implements that model against the same server's blob
+// surface (GET /docs/{id}/manifest, /blob with HTTP ranges, /hashes):
+//
+//	doc, _ := xmlac.OpenRemote("http://host:8080/docs/hospital", key)
+//	view, metrics, _ := doc.AuthorizedView(policy, xmlac.ViewOptions{})
+//	fmt.Printf("%d bytes on the wire for a %d byte document (%d round trips)\n",
+//	    metrics.BytesOnWire, doc.Size(), metrics.RoundTrips)
+//
+// The policy is evaluated locally while ciphertext is pulled on demand
+// through range requests (coalesced, cached in a bounded LRU of pages), so
+// the bytes the Skip index skips are bytes that never cross the network:
+// Metrics.BytesOnWire stays well under a full download for selective
+// policies. The xmlac-client command and examples/remoteclient show the full
+// flow; integrity is verified client-side against the decrypted chunk
+// digests, so a tampering server is always detected.
+//
 // The sub-packages under internal/ implement the building blocks (XPath
 // fragment, access rules automata, streaming evaluator, Skip index,
 // encryption and integrity layer, SOE cost model, dataset generators and the
@@ -306,6 +326,60 @@ func UnmarshalProtected(data []byte) (*Protected, error) {
 // Size returns the size in bytes of the encrypted document.
 func (p *Protected) Size() int { return len(p.prot.Ciphertext) }
 
+// DocumentManifest describes the public layout of a protected document: what
+// an untrusted blob server knows and publishes to remote SOE clients
+// (GET /docs/{id}/manifest). Nothing in it needs or reveals the key.
+type DocumentManifest struct {
+	Scheme           Scheme `json:"scheme"`
+	ChunkSize        int    `json:"chunk_size"`
+	FragmentSize     int    `json:"fragment_size"`
+	PlainLen         int    `json:"plain_len"`
+	CiphertextLen    int64  `json:"ciphertext_len"`
+	NumChunks        int    `json:"num_chunks"`
+	NumDigests       int    `json:"num_digests"`
+	CiphertextOffset int64  `json:"ciphertext_offset"`
+	BlobSize         int64  `json:"blob_size"`
+}
+
+// Manifest returns the document's public layout description.
+func (p *Protected) Manifest() DocumentManifest {
+	m := p.prot.Manifest()
+	ctOff := p.prot.CiphertextOffset()
+	return DocumentManifest{
+		Scheme:           Scheme(m.Scheme.String()).normalize(),
+		ChunkSize:        m.ChunkSize,
+		FragmentSize:     m.FragmentSize,
+		PlainLen:         m.PlainLen,
+		CiphertextLen:    m.CiphertextLen,
+		NumChunks:        m.NumChunks(),
+		NumDigests:       m.NumDigests,
+		CiphertextOffset: ctOff,
+		BlobSize:         ctOff + m.CiphertextLen,
+	}
+}
+
+// normalize maps the internal scheme spelling (e.g. "ECB-MHT") onto the
+// public lower-case names.
+func (s Scheme) normalize() Scheme { return Scheme(strings.ToLower(string(s))) }
+
+// FragmentHashes returns the SHA-1 hash of every ciphertext fragment of a
+// chunk: the untrusted-terminal side of the ECB-MHT Merkle protocol, served
+// by blob servers to remote SOE clients (GET /docs/{id}/hashes?chunk=N). The
+// hashes are computed over public ciphertext; clients verify them against
+// the decrypted chunk digest, so a tampering server is always detected.
+func (p *Protected) FragmentHashes(chunk int) ([][]byte, error) {
+	hashes, err := p.prot.FragmentHashes(chunk)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(hashes))
+	for i := range hashes {
+		h := hashes[i]
+		out[i] = h[:]
+	}
+	return out, nil
+}
+
 // ViewOptions tunes the evaluation of an authorized view.
 type ViewOptions struct {
 	// Query restricts the view to the scope of an XPath query (same fragment
@@ -335,6 +409,15 @@ type Metrics struct {
 	NodesPermitted int64
 	NodesDenied    int64
 	NodesPending   int64
+	// BytesOnWire is the number of HTTP body bytes actually transferred from
+	// the blob server during a remote evaluation (OpenRemote); 0 when the
+	// evaluation is local. Unlike BytesTransferred (the SOE cost model), it
+	// counts real network payload: range responses, digest tables and
+	// fragment hashes, page-granular and framing included.
+	BytesOnWire int64
+	// RoundTrips is the number of HTTP requests issued during a remote
+	// evaluation; 0 when the evaluation is local.
+	RoundTrips int64
 	// EstimatedSmartCardSeconds is the execution-time estimate on the
 	// hardware smart-card profile of the paper (Table 1).
 	EstimatedSmartCardSeconds float64
@@ -350,6 +433,8 @@ func (m *Metrics) Add(o *Metrics) {
 	m.NodesPermitted += o.NodesPermitted
 	m.NodesDenied += o.NodesDenied
 	m.NodesPending += o.NodesPending
+	m.BytesOnWire += o.BytesOnWire
+	m.RoundTrips += o.RoundTrips
 	m.EstimatedSmartCardSeconds += o.EstimatedSmartCardSeconds
 }
 
