@@ -2,7 +2,9 @@ package xmlac
 
 import (
 	"fmt"
+	"io"
 	"testing"
+	"time"
 
 	"xmlac/internal/accessrule"
 	"xmlac/internal/core"
@@ -376,6 +378,64 @@ func BenchmarkConcurrentAuthorizedViews(b *testing.B) {
 			return err
 		})
 	})
+}
+
+// BenchmarkStreamingView compares the two view-delivery paths on the
+// scale-1.0 hospital document (the paper's evaluation dataset at full size):
+// "materialized" runs AuthorizedViewCompiled and serializes the resulting
+// tree (the historical API), "streaming" runs StreamAuthorizedViewCompiled
+// straight into the destination writer. Same evaluation, same bytes out —
+// the delta is pure delivery overhead: the materialized path allocates the
+// view tree plus its serialized string, the streaming path allocates
+// neither, so its B/op must be strictly lower and its time-to-first-byte
+// (reported as ttfb-ms) is the evaluator's, not the whole view's.
+func BenchmarkStreamingView(b *testing.B) {
+	doc, err := ParseDocumentString(xmlstream.SerializeTree(dataset.Hospital(1.0), false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := DeriveKey("bench")
+	prot, err := Protect(doc, key, SchemeECBMHT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profiles := []struct {
+		name   string
+		policy Policy
+	}{
+		{"secretary", SecretaryPolicy()},
+		{"doctor", DoctorPolicy("DrA")},
+	}
+	for _, p := range profiles {
+		cp, err := p.policy.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(p.name+"/materialized", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				view, _, err := prot.AuthorizedViewCompiled(key, cp, ViewOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.WriteString(io.Discard, view.XML()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(p.name+"/streaming", func(b *testing.B) {
+			b.ReportAllocs()
+			var ttfb time.Duration
+			for i := 0; i < b.N; i++ {
+				metrics, err := prot.StreamAuthorizedViewCompiled(key, cp, ViewOptions{}, io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ttfb += metrics.TimeToFirstByte
+			}
+			b.ReportMetric(float64(ttfb.Nanoseconds())/1e6/float64(b.N), "ttfb-ms")
+		})
+	}
 }
 
 // BenchmarkXPathParse measures rule compilation (parsing + ARA

@@ -22,7 +22,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"xmlac"
@@ -64,28 +66,62 @@ func run(url, passphrase, profile, rulesFile, subject, query, out string, dummy,
 	if err != nil {
 		return err
 	}
-	view, metrics, err := doc.AuthorizedView(policy, xmlac.ViewOptions{
+	// Stream the view as it is evaluated: ciphertext ranges flow in from the
+	// blob server on one side, authorized XML flows out on the other, and
+	// the client never holds either the document or the view in memory.
+	// File output goes through a temporary sibling renamed into place on
+	// success, so a failed run never clobbers a previous good output with a
+	// truncated view.
+	dest := io.Writer(os.Stdout)
+	var tmp *os.File
+	if out != "" {
+		var err error
+		tmp, err = os.CreateTemp(filepath.Dir(out), filepath.Base(out)+".tmp-*")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if tmp != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
+			}
+		}()
+		dest = tmp
+	}
+	buffered := bufio.NewWriter(dest)
+	metrics, err := doc.StreamAuthorizedView(policy, xmlac.ViewOptions{
 		Query:            query,
 		DummyDeniedNames: dummy,
-	})
+		Indent:           true,
+	}, buffered)
 	if err != nil {
 		return err
 	}
-	output := view.IndentedXML()
-	if view.IsEmpty() {
-		output = "<!-- empty authorized view -->\n"
+	if metrics.TimeToFirstByte == 0 {
+		// Nothing was delivered: the closed policy denied everything.
+		fmt.Fprint(buffered, "<!-- empty authorized view -->\n")
 	}
-	if out == "" {
-		fmt.Print(output)
-	} else if err := os.WriteFile(out, []byte(output), 0o644); err != nil {
+	if err := buffered.Flush(); err != nil {
 		return err
+	}
+	if tmp != nil {
+		if err := tmp.Chmod(0o644); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp.Name(), out); err != nil {
+			return err
+		}
+		tmp = nil
 	}
 	if wire {
 		totalWire, totalRT := doc.WireStats()
 		fmt.Fprintf(os.Stderr,
-			"document: %d B encrypted; wire: %d B in %d round trips (%.1f%% of a full download); SOE: transferred %d B, skipped %d B in %d subtrees\n",
+			"document: %d B encrypted; wire: %d B in %d round trips (%.1f%% of a full download); SOE: transferred %d B, skipped %d B in %d subtrees; first byte after %s\n",
 			doc.Size(), totalWire, totalRT, 100*float64(totalWire)/float64(doc.Size()),
-			metrics.BytesTransferred, metrics.BytesSkipped, metrics.SubtreesSkipped)
+			metrics.BytesTransferred, metrics.BytesSkipped, metrics.SubtreesSkipped, metrics.TimeToFirstByte)
 	}
 	return nil
 }

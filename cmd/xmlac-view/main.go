@@ -19,7 +19,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"xmlac"
@@ -60,27 +62,61 @@ func run(in, passphrase, profile, rulesFile, subject, query, out string, dummy, 
 	if err != nil {
 		return err
 	}
-	view, metrics, err := prot.AuthorizedView(xmlac.DeriveKey(passphrase), policy, xmlac.ViewOptions{
+	// The view is streamed from the evaluator straight into the destination:
+	// the SOE never holds the view (first bytes appear while the document is
+	// still being scanned). File output goes through a temporary sibling
+	// renamed into place on success, so a failed run never clobbers a
+	// previous good output with a truncated view.
+	dest := io.Writer(os.Stdout)
+	var tmp *os.File
+	if out != "" {
+		var err error
+		tmp, err = os.CreateTemp(filepath.Dir(out), filepath.Base(out)+".tmp-*")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if tmp != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
+			}
+		}()
+		dest = tmp
+	}
+	buffered := bufio.NewWriter(dest)
+	metrics, err := prot.StreamAuthorizedView(xmlac.DeriveKey(passphrase), policy, xmlac.ViewOptions{
 		Query:            query,
 		DummyDeniedNames: dummy,
-	})
+		Indent:           true,
+	}, buffered)
 	if err != nil {
 		return err
 	}
-	output := view.IndentedXML()
-	if view.IsEmpty() {
-		output = "<!-- empty authorized view -->\n"
+	if metrics.TimeToFirstByte == 0 {
+		// Nothing was delivered: the closed policy denied everything.
+		fmt.Fprint(buffered, "<!-- empty authorized view -->\n")
 	}
-	if out == "" {
-		fmt.Print(output)
-	} else if err := os.WriteFile(out, []byte(output), 0o644); err != nil {
+	if err := buffered.Flush(); err != nil {
 		return err
+	}
+	if tmp != nil {
+		if err := tmp.Chmod(0o644); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp.Name(), out); err != nil {
+			return err
+		}
+		tmp = nil
 	}
 	if showMetrics {
 		fmt.Fprintf(os.Stderr,
-			"transferred %d B, decrypted %d B, skipped %d B in %d subtrees; nodes permitted/denied/pending: %d/%d/%d; est. smart card time %.2fs\n",
+			"transferred %d B, decrypted %d B, skipped %d B in %d subtrees; nodes permitted/denied/pending: %d/%d/%d; first byte after %s; est. smart card time %.2fs\n",
 			metrics.BytesTransferred, metrics.BytesDecrypted, metrics.BytesSkipped, metrics.SubtreesSkipped,
-			metrics.NodesPermitted, metrics.NodesDenied, metrics.NodesPending, metrics.EstimatedSmartCardSeconds)
+			metrics.NodesPermitted, metrics.NodesDenied, metrics.NodesPending, metrics.TimeToFirstByte,
+			metrics.EstimatedSmartCardSeconds)
 	}
 	return nil
 }

@@ -83,17 +83,31 @@ func (p *Protected) AuthorizedViewCompiled(key Key, cp *CompiledPolicy, opts Vie
 	return authorizedViewOverSource(p.prot, key, cp, opts)
 }
 
-// authorizedViewOverSource runs the SOE pipeline (secure reader, Skip-index
-// decoder, streaming evaluator) over any chunk source: the in-memory
-// protected document (local evaluation) or a remote blob (OpenRemote), where
-// every ciphertext range the reader pulls is network transfer.
+// authorizedViewOverSource materializes the authorized view over any chunk
+// source by running the shared pipeline into a tree (the core attaches an
+// xmlstream.TreeSink when no delivery sink is configured).
 func authorizedViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolicy, opts ViewOptions) (*Document, *Metrics, error) {
 	coreOpts, err := opts.coreOptions()
 	if err != nil {
 		return nil, nil, err
 	}
+	res, metrics, err := runViewPipeline(src, key, cp, coreOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Document{root: res.View}, metrics, nil
+}
+
+// runViewPipeline runs the SOE pipeline (secure reader, Skip-index decoder,
+// streaming evaluator) over any chunk source: the in-memory protected
+// document (local evaluation) or a remote blob (OpenRemote), where every
+// ciphertext range the reader pulls is network transfer. The view goes
+// wherever coreOpts.Sink points (Result.View when nil); the per-request
+// machinery comes from the shared pool.
+func runViewPipeline(src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOpts core.Options) (*core.Result, *Metrics, error) {
 	st := evalPool.Get().(*evalState)
 	defer evalPool.Put(st)
+	var err error
 	if st.reader == nil {
 		st.reader, err = secure.NewReader(src, key)
 	} else {
@@ -115,7 +129,7 @@ func authorizedViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolic
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Document{root: res.View}, buildMetrics(st.reader.Costs(), decoder.BytesSkipped(), res), nil
+	return res, buildMetrics(st.reader.Costs(), decoder.BytesSkipped(), res), nil
 }
 
 // buildMetrics folds the secure-reader costs and the evaluator metrics into

@@ -49,24 +49,34 @@ func run(w io.Writer) error {
 		{"doctor DrH (part time)", xmlac.DoctorPolicy("DrH")},
 		{"researcher (protocols G1..G10)", xmlac.ResearcherPolicy("G1", "G2", "G3", "G4", "G5", "G6", "G7", "G8", "G9", "G10")},
 	}
+	// Each view is streamed out of the evaluator; a counting writer stands in
+	// for the consumer, so only the view's size is retained here.
 	for _, p := range profiles {
-		view, metrics, err := protected.AuthorizedView(key, p.policy, xmlac.ViewOptions{})
+		var cw countingWriter
+		metrics, err := protected.StreamAuthorizedView(key, p.policy, xmlac.ViewOptions{}, &cw)
 		if err != nil {
 			return err
 		}
-		viewSize := len(view.XML())
 		fmt.Fprintf(w, "%-32s view %7d B | transferred %7d B | skipped %7d B | est. smart card %.2fs\n",
-			p.name, viewSize, metrics.BytesTransferred, metrics.BytesSkipped, metrics.EstimatedSmartCardSeconds)
+			p.name, cw.n, metrics.BytesTransferred, metrics.BytesSkipped, metrics.EstimatedSmartCardSeconds)
 	}
 
 	// The doctor can additionally pull only the folders of elderly patients:
 	// the query is intersected with her access rights inside the SOE.
-	view, _, err := protected.AuthorizedView(key, xmlac.DoctorPolicy("DrA"), xmlac.ViewOptions{
+	var cw countingWriter
+	if _, err := protected.StreamAuthorizedView(key, xmlac.DoctorPolicy("DrA"), xmlac.ViewOptions{
 		Query: "//Folder[Admin/Age > 70]",
-	})
-	if err != nil {
+	}, &cw); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\ndoctor DrA, query //Folder[Admin/Age > 70]: %d bytes of result\n", len(view.XML()))
+	fmt.Fprintf(w, "\ndoctor DrA, query //Folder[Admin/Age > 70]: %d bytes of result\n", cw.n)
 	return nil
+}
+
+// countingWriter measures a streamed view without retaining it.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }

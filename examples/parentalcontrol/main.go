@@ -86,13 +86,15 @@ func run(w io.Writer) error {
 		Rules:   []xmlac.Rule{{Sign: "+", Object: "/guide"}},
 	}
 
+	// The guide is streamed to each device as it is filtered; the skip
+	// accounting is only known once the scan finished, so it trails the view.
 	for _, p := range []xmlac.Policy{young, teen, parent} {
-		view, metrics, err := protected.AuthorizedView(key, p, xmlac.ViewOptions{})
+		fmt.Fprintf(w, "=== view for %s ===\n", p.Subject)
+		metrics, err := protected.StreamAuthorizedView(key, p, xmlac.ViewOptions{Indent: true}, w)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "=== view for %s (skipped %d prohibited subtrees) ===\n%s\n",
-			p.Subject, metrics.SubtreesSkipped, view.IndentedXML())
+		fmt.Fprintf(w, "(skipped %d prohibited subtrees)\n\n", metrics.SubtreesSkipped)
 	}
 	return nil
 }

@@ -40,26 +40,35 @@ func run(w io.Writer) error {
 		"//Folder[MedActs/Act/RPhys = DrB]/Admin",
 		"//Folder[Admin/Age > 120]", // matches nothing
 	}
+	// Each query result is streamed out of the SOE; a counting writer stands
+	// in for the consumer, so only the result size is retained here.
 	for _, q := range queries {
-		view, metrics, err := protected.AuthorizedView(key, doctor, xmlac.ViewOptions{Query: q})
+		var cw countingWriter
+		metrics, err := protected.StreamAuthorizedView(key, doctor, xmlac.ViewOptions{Query: q}, &cw)
 		if err != nil {
 			return err
 		}
-		size := len(view.XML())
 		fmt.Fprintf(w, "query %-42s -> %6d B of result, %6d B transferred, %6d B skipped\n",
-			q, size, metrics.BytesTransferred, metrics.BytesSkipped)
+			q, cw.n, metrics.BytesTransferred, metrics.BytesSkipped)
 	}
 
 	// The same query issued by the secretary returns only what her own
 	// access rights allow: the medical predicate can never be satisfied from
 	// data she is not allowed to see.
-	secView, _, err := protected.AuthorizedView(key, xmlac.SecretaryPolicy(), xmlac.ViewOptions{
+	var cw countingWriter
+	if _, err := protected.StreamAuthorizedView(key, xmlac.SecretaryPolicy(), xmlac.ViewOptions{
 		Query: "//Folder[MedActs/Act/RPhys = DrB]/Admin",
-	})
-	if err != nil {
+	}, &cw); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\nsecretary issuing the medical query gets %d bytes (the predicate reads denied data)\n",
-		len(secView.XML()))
+	fmt.Fprintf(w, "\nsecretary issuing the medical query gets %d bytes (the predicate reads denied data)\n", cw.n)
 	return nil
+}
+
+// countingWriter measures a streamed view without retaining it.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }

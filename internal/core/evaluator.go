@@ -24,6 +24,13 @@ type Options struct {
 	// Query restricts the delivered view to the scope of a query expressed
 	// in the same XPath fragment as the rules (pull context).
 	Query *xpath.Path
+	// Sink, when non-nil, receives the authorized view as a stream of events
+	// while the evaluation runs (see ViewSink): delivery is incremental, in
+	// document order, gated only on pending predicates. Result.View is nil
+	// in that case. When Sink is nil the evaluator materializes the view
+	// into a tree through an internal xmlstream.TreeSink, which is returned
+	// as Result.View — the historical behaviour.
+	Sink ViewSink
 	// DummyDeniedNames renders denied structural ancestors as "_".
 	DummyDeniedNames bool
 	// DisableSkipIndex ignores the Skip-index metadata even when the reader
@@ -172,7 +179,11 @@ func (e *Evaluator) Reset(reader xmlstream.EventReader, cp *CompiledPolicy, opts
 	} else {
 		clear(e.anchorIndex)
 	}
-	e.builder = newResultBuilder(opts.DummyDeniedNames)
+	if opts.Sink != nil {
+		e.builder = newSinkResultBuilder(opts.Sink, opts.DummyDeniedNames)
+	} else {
+		e.builder = newResultBuilder(opts.DummyDeniedNames)
+	}
 
 	if !opts.DisableSkipIndex {
 		if mp, ok := reader.(MetaProvider); ok {
@@ -203,7 +214,9 @@ func Evaluate(reader xmlstream.EventReader, policy *accessrule.Policy, opts Opti
 	return e.Run()
 }
 
-// Run processes every event of the reader and finalizes the result.
+// Run processes every event of the reader and finalizes the result. With a
+// delivery sink configured (Options.Sink) the view has already been streamed
+// out by the time Run returns and Result.View is nil.
 func (e *Evaluator) Run() (*Result, error) {
 	for {
 		ev, err := e.reader.Next()
@@ -225,21 +238,28 @@ func (e *Evaluator) Run() (*Result, error) {
 }
 
 // ProcessEvent feeds one event to the evaluator. Exposed for tests that
-// drive the evaluator event by event and inspect intermediate state.
+// drive the evaluator event by event and inspect intermediate state. After
+// the event is evaluated the settled prefix of the view is flushed to the
+// delivery sink, so a sink error (a disconnected client) surfaces here and
+// aborts the document scan.
 func (e *Evaluator) ProcessEvent(ev xmlstream.Event) error {
 	e.metrics.Events++
+	var err error
 	switch ev.Kind {
 	case xmlstream.Open:
 		e.metrics.OpenEvents++
-		return e.processOpen(ev)
+		err = e.processOpen(ev)
 	case xmlstream.Text:
 		e.processText(ev)
-		return nil
 	case xmlstream.Close:
-		return e.processClose(ev)
+		err = e.processClose(ev)
 	default:
 		return fmt.Errorf("core: unknown event kind %v", ev.Kind)
 	}
+	if err != nil {
+		return err
+	}
+	return e.builder.flush()
 }
 
 // Metrics returns a copy of the metrics accumulated so far.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"xmlac/internal/xmlstream"
 )
@@ -12,13 +13,22 @@ import (
 // can read them back from the server), reassembles them at the right place
 // when their delivery condition resolves (section 5), enforces the
 // Structural rule (ancestors of authorized nodes are kept, optionally with
-// dummied names) and produces the final authorized view.
+// dummied names) and delivers the authorized view.
+//
+// Delivery is streaming: the builder pushes open/text/close events into a
+// ViewSink as soon as their fate is sealed, in document order. A node whose
+// delivery condition is still pending blocks the emission cursor (later
+// output would otherwise overtake it); everything before the first pending
+// node flows out while the evaluation is still consuming the document, so
+// time-to-first-byte and peak buffered memory track the evaluator's working
+// set, not the view size.
 //
 // Memory discipline: the SOE-side state of the evaluator is bounded by the
 // document depth and the number of active tokens; everything kept here is
-// terminal-side memory. Subtrees whose decision is a definitive Deny are
-// pruned as soon as their element closes, so the terminal retains only the
-// delivered view plus the still-pending fragments.
+// terminal-side memory. Emitted nodes are dropped from the skeleton as the
+// cursor passes them, and subtrees whose decision is a definitive Deny are
+// dropped as soon as their element closes, so the terminal retains only the
+// still-pending fragments and the open path.
 
 // nodeState tracks the delivery state of one buffered element or text node.
 type nodeState int
@@ -44,6 +54,22 @@ type resultNode struct {
 	parent   *resultNode
 	children []*resultNode
 
+	// next indexes the first child the emission cursor has not settled yet;
+	// settled children are nilled out to release their subtree.
+	next int
+	// opened records that the sink received this element's opening tag
+	// (directly, or structurally as a denied ancestor of a delivered node);
+	// emittedName is the name it was opened under (dummied for non-included
+	// elements when the dummy-name rendering is on), reused by the closing
+	// tag.
+	opened      bool
+	emittedName string
+	// inputClosed records that the document-side close event was seen, so
+	// the cursor knows no further children can arrive.
+	inputClosed bool
+	// done marks a fully settled node (all output emitted or dropped).
+	done bool
+
 	// access is the access-control decision for the element independent of
 	// the query (the query result is computed over the authorized view, so
 	// query predicates may only observe values whose access decision is
@@ -68,10 +94,17 @@ type resultNode struct {
 // still open.
 var ErrUnbalancedResult = errors.New("core: unbalanced result (document not fully processed)")
 
-// resultBuilder accumulates the result skeleton during parsing.
+// resultBuilder accumulates the result skeleton during parsing and streams
+// the settled prefix into its sink.
 type resultBuilder struct {
 	root    *resultNode
 	current *resultNode
+	// sink receives the delivered view; tree is non-nil when the builder
+	// materializes (the sink is an internally owned TreeSink whose root is
+	// returned by finalize).
+	sink ViewSink
+	tree *xmlstream.TreeSink
+	err  error
 	// dummyNames controls the Structural-rule rendering of denied ancestors.
 	dummyNames bool
 	// openStack mirrors the currently open elements.
@@ -84,8 +117,19 @@ type resultBuilder struct {
 	deliveredLate  int64 // nodes delivered after a pending resolution
 }
 
+// newResultBuilder returns a materializing builder: the view is collected
+// into a tree returned by finalize. It delivers through a TreeSink, so the
+// materialized path is a thin adapter over the same streaming emission.
 func newResultBuilder(dummyNames bool) *resultBuilder {
-	return &resultBuilder{dummyNames: dummyNames}
+	tree := xmlstream.NewTreeSink()
+	b := newSinkResultBuilder(tree, dummyNames)
+	b.tree = tree
+	return b
+}
+
+// newSinkResultBuilder returns a streaming builder delivering into sink.
+func newSinkResultBuilder(sink ViewSink, dummyNames bool) *resultBuilder {
+	return &resultBuilder{sink: sink, dummyNames: dummyNames}
 }
 
 // openElement records an element with its (possibly pending) delivery
@@ -118,9 +162,11 @@ func (b *resultBuilder) openElement(name string, d, access Decision, snapshot []
 
 // text records a text node under the current element. Its delivery follows
 // the enclosing element's decision, so it simply inherits the parent state
-// (text of an undecided element is resolved together with it).
+// (text of an undecided element is resolved together with it). Text of a
+// definitively excluded element is never delivered — not even structurally —
+// so it is dropped on the spot.
 func (b *resultBuilder) text(value string) {
-	if b.current == nil {
+	if b.current == nil || b.current.state == stateExcluded {
 		return
 	}
 	n := &resultNode{isText: true, value: value, parent: b.current, state: b.current.state}
@@ -128,28 +174,26 @@ func (b *resultBuilder) text(value string) {
 }
 
 // closeElement closes the current element. Subtrees that are definitively
-// excluded and have no included or undecided descendant are pruned to bound
-// terminal memory.
+// excluded, un-emitted and without included or undecided descendants are
+// dropped immediately to bound terminal memory, without waiting for the
+// emission cursor to reach them.
 func (b *resultBuilder) closeElement() {
 	if len(b.openStack) == 0 {
 		return
 	}
 	n := b.openStack[len(b.openStack)-1]
 	b.openStack = b.openStack[:len(b.openStack)-1]
+	n.inputClosed = true
 	if len(b.openStack) > 0 {
 		b.current = b.openStack[len(b.openStack)-1]
 	} else {
 		b.current = nil
 	}
-	if n.parent != nil && n.state == stateExcluded && !hasLiveDescendant(n) {
-		// Prune: remove n from its parent.
-		siblings := n.parent.children
-		for i := len(siblings) - 1; i >= 0; i-- {
-			if siblings[i] == n {
-				n.parent.children = append(siblings[:i], siblings[i+1:]...)
-				break
-			}
-		}
+	if n.parent != nil && n.state == stateExcluded && !n.opened && !hasLiveDescendant(n) {
+		// Drop: this subtree can never contribute output. The slot is nilled
+		// (not spliced) so the parent's emission index stays valid; the
+		// closing element is always the parent's most recent child.
+		n.parent.children[len(n.parent.children)-1] = nil
 	}
 }
 
@@ -160,7 +204,7 @@ func hasLiveDescendant(n *resultNode) bool {
 		return true
 	}
 	for _, c := range n.children {
-		if hasLiveDescendant(c) {
+		if c != nil && hasLiveDescendant(c) {
 			return true
 		}
 	}
@@ -186,7 +230,7 @@ func (b *resultBuilder) resolve(n *resultNode, d Decision) bool {
 	b.pendingCount--
 	// Text children inherited the undecided state; align them.
 	for _, c := range n.children {
-		if c.isText && c.state == stateUndecided {
+		if c != nil && c.isText && c.state == stateUndecided {
 			c.state = n.state
 		}
 	}
@@ -194,50 +238,183 @@ func (b *resultBuilder) resolve(n *resultNode, d Decision) bool {
 	return true
 }
 
-// finalize builds the authorized view tree. Any node still undecided is
-// treated as denied (its predicates never resolved before the end of the
-// document, which means they are false). The returned tree is nil when the
-// view is empty.
+// flush advances the emission cursor: every node whose fate is sealed and
+// whose document-order predecessors have all been emitted or dropped is
+// pushed into the sink and released from the skeleton. The evaluator calls
+// it after each processed event; a sink error is sticky and aborts the run.
+func (b *resultBuilder) flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.root == nil {
+		return nil
+	}
+	b.settle(b.root)
+	return b.err
+}
+
+// settle tries to emit the remaining output of n. It returns true when the
+// node is fully done (everything emitted or dropped, including the closing
+// tag); false when it is blocked on a pending decision, on children still
+// being parsed, or on a sink error.
+func (b *resultBuilder) settle(n *resultNode) bool {
+	if n.done {
+		return true
+	}
+	if b.err != nil {
+		return false
+	}
+	if n.isText {
+		switch n.state {
+		case stateIncluded:
+			b.emitText(n.value)
+			n.done = b.err == nil
+			return n.done
+		case stateExcluded:
+			n.done = true
+			return true
+		default:
+			return false
+		}
+	}
+	if n.state == stateUndecided {
+		return false
+	}
+	if n.state == stateIncluded && !n.opened {
+		b.emitOpenPath(n)
+		if b.err != nil {
+			return false
+		}
+	}
+	for n.next < len(n.children) {
+		c := n.children[n.next]
+		if c == nil {
+			n.next++
+			continue
+		}
+		if c.isText && n.state != stateIncluded {
+			// Text of a non-included element is never delivered, even when
+			// the element appears structurally.
+			if c.state == stateUndecided {
+				return false
+			}
+			n.children[n.next] = nil
+			n.next++
+			continue
+		}
+		if !b.settle(c) {
+			return false
+		}
+		n.children[n.next] = nil
+		n.next++
+	}
+	if n.next > 0 && n.next == len(n.children) {
+		// Every child so far is settled: recycle the slice so a long-open
+		// element (a wide root) does not accumulate one nil slot per child
+		// ever seen. New children append from index 0 again.
+		n.children = n.children[:0]
+		n.next = 0
+	}
+	if !n.inputClosed {
+		return false
+	}
+	if n.opened {
+		b.emitClose(n.emittedName)
+		if b.err != nil {
+			return false
+		}
+	}
+	// Never opened: an excluded subtree with no included descendant, dropped
+	// whole.
+	n.done = true
+	return true
+}
+
+// emitOpenPath emits the opening tags of every not-yet-opened ancestor of n
+// (all of which are excluded structural ancestors — included ancestors were
+// opened when the cursor passed them) and of n itself, applying the
+// Structural rule's dummy-name rendering to non-included elements.
+func (b *resultBuilder) emitOpenPath(n *resultNode) {
+	if n == nil || n.opened || b.err != nil {
+		return
+	}
+	b.emitOpenPath(n.parent)
+	if b.err != nil {
+		return
+	}
+	name := n.name
+	if n.state != stateIncluded && b.dummyNames {
+		name = "_"
+	}
+	if err := b.sink.OpenElement(name); err != nil {
+		b.err = fmt.Errorf("core: delivering view: %w", err)
+		return
+	}
+	n.opened = true
+	n.emittedName = name
+}
+
+func (b *resultBuilder) emitText(value string) {
+	if err := b.sink.Text(value); err != nil {
+		b.err = fmt.Errorf("core: delivering view: %w", err)
+	}
+}
+
+func (b *resultBuilder) emitClose(name string) {
+	if err := b.sink.CloseElement(name); err != nil {
+		b.err = fmt.Errorf("core: delivering view: %w", err)
+	}
+}
+
+// finalize flushes the remaining skeleton and ends the sink delivery. Any
+// node still undecided is treated as denied (its predicates never resolved
+// before the end of the document, which means they are false). When the
+// builder materializes, the collected view tree is returned; it is nil when
+// the view is empty.
 func (b *resultBuilder) finalize() (*xmlstream.Node, error) {
 	if len(b.openStack) != 0 {
 		return nil, ErrUnbalancedResult
 	}
-	if b.root == nil {
-		return nil, nil
+	if b.err != nil {
+		return nil, b.err
 	}
-	return b.export(b.root), nil
+	if b.root != nil {
+		denyUnresolved(b.root)
+		if !b.settle(b.root) && b.err == nil {
+			b.err = errors.New("core: internal error: view emission stalled at end of document")
+		}
+		if b.err != nil {
+			return nil, b.err
+		}
+	}
+	if err := b.sink.End(); err != nil {
+		b.err = fmt.Errorf("core: delivering view: %w", err)
+		return nil, b.err
+	}
+	if b.tree != nil {
+		return b.tree.Root(), nil
+	}
+	return nil, nil
 }
 
-// export converts the skeleton into the delivered view, applying the
-// Structural rule: an excluded element appears (without text, name possibly
-// dummied) only when it has an included descendant.
-func (b *resultBuilder) export(n *resultNode) *xmlstream.Node {
-	if n.isText {
-		if n.state == stateIncluded {
-			return xmlstream.NewText(n.value)
-		}
-		return nil
+// denyUnresolved seals the fate of every node still undecided at the end of
+// the document: unresolved predicates are false, so the node is excluded.
+func denyUnresolved(n *resultNode) {
+	if n.state == stateUndecided {
+		n.state = stateExcluded
+		n.snapshot = nil
 	}
-	included := n.state == stateIncluded
-	var children []*xmlstream.Node
-	for _, c := range n.children {
-		if c.isText && !included {
-			// Text of a non-included element is never delivered, even when
-			// the element appears structurally.
+	for i := n.next; i < len(n.children); i++ {
+		c := n.children[i]
+		if c == nil {
 			continue
 		}
-		if cv := b.export(c); cv != nil {
-			children = append(children, cv)
+		if c.isText {
+			if c.state == stateUndecided {
+				c.state = stateExcluded
+			}
+			continue
 		}
+		denyUnresolved(c)
 	}
-	if !included && len(children) == 0 {
-		return nil
-	}
-	name := n.name
-	if !included && b.dummyNames {
-		name = "_"
-	}
-	out := xmlstream.NewElement(name)
-	out.Children = children
-	return out
 }

@@ -1,0 +1,35 @@
+package core
+
+// ViewSink receives the authorized view as a stream of events while the
+// evaluation is still running: this is the delivery model of the paper, where
+// the SOE hands authorized fragments to the terminal as soon as their access
+// decision settles, instead of materializing the whole view first.
+//
+// The evaluator guarantees a well-formed delivery: events arrive in document
+// order, opens and closes are balanced around a single root (or no events at
+// all for an empty view), denied ancestors of authorized nodes are opened
+// structurally (with their name dummied when Options.DummyDeniedNames is
+// set), and End is called exactly once after the last event. A non-nil error
+// returned by any method aborts the evaluation: the error propagates out of
+// Evaluator.Run, so a sink backed by a disconnected client stops the
+// document scan mid-stream.
+//
+// Nodes whose delivery depends on a pending predicate are buffered inside
+// the evaluator and emitted when the predicate resolves, so a sink may
+// observe bursts; everything already emitted is final and never retracted.
+//
+// xmlstream.ViewSerializer (streaming serialization to an io.Writer) and
+// xmlstream.TreeSink (materialization into a node tree) are the two standard
+// implementations.
+type ViewSink interface {
+	// OpenElement delivers the opening tag of an authorized (or structural
+	// ancestor) element.
+	OpenElement(name string) error
+	// Text delivers the text content of an authorized element.
+	Text(value string) error
+	// CloseElement delivers the closing tag matching the most recent
+	// unclosed OpenElement.
+	CloseElement(name string) error
+	// End marks the end of the view delivery.
+	End() error
+}

@@ -2,11 +2,13 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -284,8 +286,50 @@ func (s *Server) compiledFor(entry *DocumentEntry, rec PolicyRecord, subject str
 	return cp, nil
 }
 
-// viewChunkSize is the streaming granularity of GET /view responses.
-const viewChunkSize = 16 << 10
+// viewFlushThreshold is how many body bytes may accumulate before the
+// response is flushed onto the wire mid-stream.
+const viewFlushThreshold = 16 << 10
+
+// Trailer names carrying the evaluation metrics of GET /view responses. The
+// view is streamed straight out of the evaluator, so the counters do not
+// exist yet when the headers go out; they travel as HTTP trailers instead.
+const (
+	trailerBytesTransferred = "X-Xmlac-Bytes-Transferred"
+	trailerBytesSkipped     = "X-Xmlac-Bytes-Skipped"
+	trailerNodesPermitted   = "X-Xmlac-Nodes-Permitted"
+	trailerTTFBMicros       = "X-Xmlac-Ttfb-Micros"
+)
+
+// viewWriter adapts the http.ResponseWriter for streaming delivery: it stops
+// accepting bytes once the request context is done (a disconnected or
+// timed-out client aborts the evaluation mid-document), flushes the first
+// write immediately (committing the 200 and putting the first byte on the
+// wire) and then every viewFlushThreshold bytes. The status line is NOT
+// written until the first authorized byte arrives, so an evaluation that
+// fails before producing any output can still be answered with a clean
+// error status.
+type viewWriter struct {
+	ctx       context.Context
+	w         http.ResponseWriter
+	flusher   http.Flusher
+	unflushed int
+	written   int64
+}
+
+func (vw *viewWriter) Write(p []byte) (int, error) {
+	if err := vw.ctx.Err(); err != nil {
+		return 0, err
+	}
+	first := vw.written == 0
+	n, err := vw.w.Write(p)
+	vw.written += int64(n)
+	vw.unflushed += n
+	if err == nil && vw.flusher != nil && (first || vw.unflushed >= viewFlushThreshold) {
+		vw.flusher.Flush()
+		vw.unflushed = 0
+	}
+	return n, err
+}
 
 func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	entry, err := s.store.Entry(r.PathValue("id"))
@@ -307,6 +351,7 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	opts := xmlac.ViewOptions{
 		Query:            q.Get("query"),
 		DummyDeniedNames: q.Get("dummy") == "1" || q.Get("dummy") == "true",
+		Indent:           q.Get("indent") == "1" || q.Get("indent") == "true",
 	}
 	if opts.Query != "" {
 		// Reject bad queries with a 400 before compiling the policy.
@@ -323,52 +368,55 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	view, metrics, err := entry.View(cp, opts)
-	if err != nil {
-		sess.RecordError()
-		s.viewErrors.Add(1)
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	sess.Record(metrics)
-	s.viewsOK.Add(1)
-	s.addTotals(metrics)
 
-	var xml string
-	if q.Get("indent") == "1" || q.Get("indent") == "true" {
-		xml = view.IndentedXML()
-	} else {
-		xml = view.XML()
-	}
+	// The view is streamed from the evaluator into the chunked response as
+	// it is produced: the server never materializes the XML (nor a document
+	// tree), so a thousand concurrent views cost a thousand evaluator
+	// working sets, not a thousand DOM trees. The price of streaming is that
+	// the first authorized byte commits the 200; a failure after that can
+	// only abort the connection (the missing declared trailers let the
+	// client detect the truncation), and the metric counters travel as
+	// trailers since they are not known when the headers go out.
 	h := w.Header()
 	h.Set("Content-Type", "application/xml; charset=utf-8")
 	h.Set("X-Xmlac-Subject", subject)
 	h.Set("X-Xmlac-Policy-Hash", rec.Hash)
-	h.Set("X-Xmlac-Bytes-Transferred", strconv.FormatInt(metrics.BytesTransferred, 10))
-	h.Set("X-Xmlac-Bytes-Skipped", strconv.FormatInt(metrics.BytesSkipped, 10))
-	h.Set("X-Xmlac-Nodes-Permitted", strconv.FormatInt(metrics.NodesPermitted, 10))
-	w.WriteHeader(http.StatusOK)
-	// Deliver the serialized view in chunks; without a Content-Length the
-	// net/http server uses chunked transfer encoding and the flushes put
-	// bytes on the wire as they are written, so clients can consume the
-	// view incrementally. (The serialized view itself is materialized
-	// in memory first — the evaluator buffers pending nodes anyway, so
-	// fully incremental serialization would not change the peak.)
+	h.Set("Trailer", strings.Join([]string{
+		trailerBytesTransferred, trailerBytesSkipped, trailerNodesPermitted, trailerTTFBMicros,
+	}, ", "))
 	flusher, _ := w.(http.Flusher)
-	for off := 0; off < len(xml); off += viewChunkSize {
-		end := off + viewChunkSize
-		if end > len(xml) {
-			end = len(xml)
+	vw := &viewWriter{ctx: r.Context(), w: w, flusher: flusher}
+	metrics, err := entry.StreamView(cp, opts, vw)
+	if err != nil {
+		sess.RecordError()
+		s.viewErrors.Add(1)
+		if vw.written == 0 {
+			// Nothing was committed yet (reader setup failed, integrity
+			// check rejected the document, client canceled before the first
+			// byte): a clean error status is still possible.
+			h.Del("Trailer")
+			h.Del("Content-Type")
+			httpError(w, http.StatusInternalServerError, "%v", err)
 		}
-		if _, err := io.WriteString(w, xml[off:end]); err != nil {
-			return // client went away
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		return
 	}
+	if vw.written == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	// The headers are committed (first body byte or the line above), so
+	// these land in the trailer section.
+	h.Set(trailerBytesTransferred, strconv.FormatInt(metrics.BytesTransferred, 10))
+	h.Set(trailerBytesSkipped, strconv.FormatInt(metrics.BytesSkipped, 10))
+	h.Set(trailerNodesPermitted, strconv.FormatInt(metrics.NodesPermitted, 10))
+	h.Set(trailerTTFBMicros, strconv.FormatInt(metrics.TimeToFirstByte.Microseconds(), 10))
+	if flusher != nil {
+		flusher.Flush()
+	}
+	sess.Record(metrics)
+	s.viewsOK.Add(1)
+	s.addTotals(metrics)
 	// An empty authorized view is a legitimate outcome of the closed policy:
-	// the body is empty and the headers carry the metrics.
+	// the body is empty and the metrics still reach the client.
 }
 
 // handleManifest publishes the document layout a remote SOE needs before it

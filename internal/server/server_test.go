@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -100,8 +101,14 @@ func TestDocumentLifecycle(t *testing.T) {
 	if !strings.Contains(body, "<Admin>") || strings.Contains(body, "<Details>") {
 		t.Fatalf("secretary view wrong: %.200s", body)
 	}
-	if resp.Header.Get("X-Xmlac-Policy-Hash") == "" || resp.Header.Get("X-Xmlac-Bytes-Transferred") == "" {
-		t.Fatal("metrics headers missing on view response")
+	if resp.Header.Get("X-Xmlac-Policy-Hash") == "" {
+		t.Fatal("policy hash header missing on view response")
+	}
+	// The view is streamed from the evaluator, so the metric counters are
+	// not known when the headers go out: they arrive as HTTP trailers,
+	// available once the body has been consumed (do reads it fully).
+	if resp.Trailer.Get("X-Xmlac-Bytes-Transferred") == "" || resp.Trailer.Get("X-Xmlac-Ttfb-Micros") == "" {
+		t.Fatalf("metrics trailers missing on view response: %v", resp.Trailer)
 	}
 
 	resp, _ = do(t, http.MethodDelete, ts.URL+"/docs/hospital", "")
@@ -344,6 +351,108 @@ func TestEmptyViewStreamsEmptyBody(t *testing.T) {
 	resp, body := do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=u", "")
 	if resp.StatusCode != http.StatusOK || body != "" {
 		t.Fatalf("empty view: %d %q, want 200 with empty body", resp.StatusCode, body)
+	}
+}
+
+// TestWrongMethodReturns405 pins the routing contract: a wrong-method hit on
+// a known /docs/... (or /metrics) route answers 405 Method Not Allowed with
+// an Allow header listing the methods the route supports — not a 404 or a
+// silent fallthrough.
+func TestWrongMethodReturns405(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDoc(t, ts, "doc", `<a><b>v</b></a>`)
+
+	cases := []struct {
+		method string
+		path   string
+		allow  string // one method the Allow header must list
+	}{
+		{http.MethodPost, "/docs/doc/view", http.MethodGet},
+		{http.MethodDelete, "/docs", http.MethodGet},
+		{http.MethodPatch, "/docs/doc", http.MethodPut},
+		{http.MethodPost, "/docs/doc", http.MethodDelete},
+		{http.MethodPut, "/docs/doc/blob", http.MethodGet},
+		{http.MethodPost, "/docs/doc/manifest", http.MethodGet},
+		{http.MethodDelete, "/docs/doc/hashes", http.MethodGet},
+		{http.MethodDelete, "/docs/doc/policies/u", http.MethodPut},
+		{http.MethodPost, "/metrics", http.MethodGet},
+		{http.MethodPut, "/healthz", http.MethodGet},
+	}
+	for _, c := range cases {
+		resp, body := do(t, c.method, ts.URL+c.path, "")
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: %d %q, want 405", c.method, c.path, resp.StatusCode, body)
+			continue
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, c.allow) {
+			t.Errorf("%s %s: Allow %q does not list %s", c.method, c.path, allow, c.allow)
+		}
+	}
+}
+
+// cancelingWriter is a ResponseWriter that cancels the request context once
+// limit bytes of body have been written: the deterministic in-process
+// equivalent of a client that disconnects mid-stream.
+type cancelingWriter struct {
+	header http.Header
+	body   bytes.Buffer
+	limit  int
+	cancel context.CancelFunc
+	status int
+}
+
+func (c *cancelingWriter) Header() http.Header { return c.header }
+func (c *cancelingWriter) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+}
+func (c *cancelingWriter) Write(p []byte) (int, error) {
+	c.WriteHeader(http.StatusOK)
+	n, _ := c.body.Write(p)
+	if c.body.Len() >= c.limit {
+		c.cancel()
+	}
+	return n, nil
+}
+
+// TestViewClientDisconnectAbortsEvaluation checks that GET /view honors
+// request-context cancellation: once the client is gone, the evaluation
+// stops mid-document instead of scanning (and serializing) the rest of the
+// view, and the request is accounted as a view error.
+func TestViewClientDisconnectAbortsEvaluation(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDoc(t, ts, "hospital", hospitalXML(60))
+	putPolicy(t, ts, "hospital", "secretary", `{"rules":[{"sign":"+","object":"//Admin"}]}`)
+
+	// Reference: the complete view, served normally.
+	resp, full := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=secretary", "")
+	if resp.StatusCode != http.StatusOK || len(full) == 0 {
+		t.Fatalf("reference view: %d, %d bytes", resp.StatusCode, len(full))
+	}
+	errorsBefore := srv.viewErrors.Load()
+	okBefore := srv.viewsOK.Load()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cw := &cancelingWriter{header: make(http.Header), limit: len(full) / 10, cancel: cancel}
+	req := httptest.NewRequest(http.MethodGet, "/docs/hospital/view?subject=secretary", nil).WithContext(ctx)
+	srv.Handler().ServeHTTP(cw, req)
+
+	if cw.status != http.StatusOK {
+		t.Fatalf("status %d, want 200 (the stream had started)", cw.status)
+	}
+	if cw.body.Len() >= len(full)/2 {
+		t.Fatalf("evaluation kept delivering after the disconnect: %d of %d bytes", cw.body.Len(), len(full))
+	}
+	if got := string(full[:cw.body.Len()]); cw.body.String() != got {
+		t.Fatal("truncated stream is not a prefix of the full view")
+	}
+	if srv.viewErrors.Load() != errorsBefore+1 {
+		t.Fatalf("view errors %d, want %d (aborted stream must be accounted)", srv.viewErrors.Load(), errorsBefore+1)
+	}
+	if srv.viewsOK.Load() != okBefore {
+		t.Fatal("aborted stream must not count as a served view")
 	}
 }
 

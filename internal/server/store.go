@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -208,6 +209,13 @@ func (e *DocumentEntry) Subjects() []string {
 // the authorized view with its metrics.
 func (e *DocumentEntry) View(cp *xmlac.CompiledPolicy, opts xmlac.ViewOptions) (*xmlac.Document, *xmlac.Metrics, error) {
 	return e.prot.AuthorizedViewCompiled(e.key, cp, opts)
+}
+
+// StreamView evaluates a compiled policy over the protected document,
+// streaming the authorized view into w while the evaluation runs. A write
+// error (a disconnected client) aborts the evaluation mid-document.
+func (e *DocumentEntry) StreamView(cp *xmlac.CompiledPolicy, opts xmlac.ViewOptions, w io.Writer) (*xmlac.Metrics, error) {
+	return e.prot.StreamAuthorizedViewCompiled(e.key, cp, opts, w)
 }
 
 // Blob returns the marshalled protected container and its strong ETag. Both

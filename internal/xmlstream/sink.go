@@ -1,0 +1,93 @@
+package xmlstream
+
+import "io"
+
+// The two standard view sinks. They implement the structural interface
+// consumed by the access-control evaluator (core.ViewSink): the evaluator
+// pushes authorized open/text/close events into a sink as soon as their
+// delivery condition settles, instead of materializing the whole view first.
+//
+// ViewSerializer turns the event stream directly into textual XML on an
+// io.Writer (the streaming delivery path: bounded memory, first byte out as
+// soon as the first authorized node settles). TreeSink collects the same
+// stream into a Node tree (the materialized path used by the historical
+// *Document API). Both consume the exact same stream, so the serialized tree
+// is byte-identical to what the serializer wrote.
+
+// ViewSerializer is a streaming view sink that serializes the authorized view
+// to a writer as it is delivered, in compact or indented form. Its output is
+// byte-identical to SerializeTree over the materialized view.
+type ViewSerializer struct {
+	s *Serializer
+}
+
+// NewViewSerializer returns a view sink writing textual XML to w.
+func NewViewSerializer(w io.Writer, indent bool) *ViewSerializer {
+	s := NewSerializer(w)
+	s.Indent = indent
+	return &ViewSerializer{s: s}
+}
+
+// OpenElement emits an opening tag.
+func (v *ViewSerializer) OpenElement(name string) error {
+	return v.s.WriteEvent(Event{Kind: Open, Name: name})
+}
+
+// Text emits escaped text content.
+func (v *ViewSerializer) Text(value string) error {
+	return v.s.WriteEvent(Event{Kind: Text, Value: value})
+}
+
+// CloseElement emits a closing tag.
+func (v *ViewSerializer) CloseElement(name string) error {
+	return v.s.WriteEvent(Event{Kind: Close, Name: name})
+}
+
+// End marks the end of the view; it reports any deferred write error.
+func (v *ViewSerializer) End() error { return v.s.err }
+
+// BytesWritten reports the number of bytes emitted so far.
+func (v *ViewSerializer) BytesWritten() int64 { return v.s.BytesWritten() }
+
+// TreeSink is a view sink that collects the delivered event stream into a
+// Node tree (through a TreeBuilder). It adapts the historical
+// materialized-document API to the streaming evaluator: the tree it builds
+// is exactly the view the serializer sink would have written.
+type TreeSink struct {
+	b TreeBuilder
+}
+
+// NewTreeSink returns an empty TreeSink.
+func NewTreeSink() *TreeSink { return &TreeSink{} }
+
+// OpenElement implements the view-sink interface.
+func (t *TreeSink) OpenElement(name string) error {
+	return t.b.WriteEvent(Event{Kind: Open, Name: name})
+}
+
+// Text implements the view-sink interface.
+func (t *TreeSink) Text(value string) error {
+	return t.b.WriteEvent(Event{Kind: Text, Value: value})
+}
+
+// CloseElement implements the view-sink interface.
+func (t *TreeSink) CloseElement(name string) error {
+	return t.b.WriteEvent(Event{Kind: Close, Name: name})
+}
+
+// End implements the view-sink interface; it fails when elements are still
+// open.
+func (t *TreeSink) End() error {
+	if t.b.err != nil {
+		return t.b.err
+	}
+	if len(t.b.stack) != 0 {
+		t.b.err = errUnclosedElements
+		return t.b.err
+	}
+	return nil
+}
+
+// Root returns the collected tree; nil when the delivered view was empty
+// (unlike TreeBuilder.Root, which treats an empty stream as malformed).
+func (t *TreeSink) Root() *Node { return t.b.root }

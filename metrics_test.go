@@ -1,0 +1,51 @@
+package xmlac
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMetricsAddFoldsEveryField pins, by reflection, that Metrics.Add folds
+// every field of Metrics: a counter added to the struct without extending
+// Add (as BytesOnWire once was in the remote-SOE work) would be silently
+// dropped by every aggregator (server sessions, lifetime totals). The test
+// stamps each field with a distinct non-zero value and checks that adding
+// onto a zero value reproduces it, and that adding twice doubles it.
+func TestMetricsAddFoldsEveryField(t *testing.T) {
+	var src Metrics
+	v := reflect.ValueOf(&src).Elem()
+	tp := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int64: // int64 counters and time.Duration
+			f.SetInt(int64(100 + i))
+		case reflect.Float64:
+			f.SetFloat(float64(i) + 0.5)
+		default:
+			t.Fatalf("Metrics.%s has kind %s: teach this test (and Metrics.Add) how to fold it",
+				tp.Field(i).Name, f.Kind())
+		}
+	}
+
+	var acc Metrics
+	acc.Add(&src)
+	if acc != src {
+		t.Fatalf("Add onto a zero Metrics must reproduce the source:\ngot  %+v\nwant %+v", acc, src)
+	}
+	acc.Add(&src)
+	av := reflect.ValueOf(acc)
+	for i := 0; i < av.NumField(); i++ {
+		name := tp.Field(i).Name
+		switch f := av.Field(i); f.Kind() {
+		case reflect.Int64:
+			if want := 2 * v.Field(i).Int(); f.Int() != want {
+				t.Errorf("Metrics.Add drops or mis-folds %s: got %d, want %d", name, f.Int(), want)
+			}
+		case reflect.Float64:
+			if want := 2 * v.Field(i).Float(); f.Float() != want {
+				t.Errorf("Metrics.Add drops or mis-folds %s: got %g, want %g", name, f.Float(), want)
+			}
+		}
+	}
+}
