@@ -1,19 +1,25 @@
 // Command xmlac-bench regenerates the tables and figures of the paper's
 // evaluation section (section 7) using the experiment harness of
-// internal/experiments, printing one text table per experiment.
+// internal/experiments, printing one text table per experiment — or, with
+// -json, runs the machine-readable wall-clock suites of internal/bench and
+// writes BENCH_shared_scan.json and BENCH_streaming_view.json in the stable
+// schema CI uploads on every run.
 //
 // Usage:
 //
 //	xmlac-bench -all -scale 0.1
 //	xmlac-bench -figure 9
 //	xmlac-bench -table 2
+//	xmlac-bench -json -scale 1.0 -out .
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"xmlac/internal/bench"
 	"xmlac/internal/experiments"
 	"xmlac/internal/soe"
 )
@@ -24,7 +30,17 @@ func main() {
 	figure := flag.Int("figure", 0, "run one figure (8, 9, 10, 11 or 12)")
 	scale := flag.Float64("scale", 0.05, "dataset scale factor (1.0 approximates the paper's sizes)")
 	profile := flag.String("profile", "hardware", "cost profile: hardware, software-internet or software-lan")
+	jsonOut := flag.Bool("json", false, "run the wall-clock suites and write BENCH_*.json instead of the paper tables")
+	outDir := flag.String("out", ".", "directory receiving the BENCH_*.json artifacts (-json only)")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runJSON(*scale, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "xmlac-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
@@ -48,6 +64,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xmlac-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON measures the shared-scan and streaming-view suites on the hospital
+// document at the given scale and writes one JSON artifact per suite.
+func runJSON(scale float64, outDir string) error {
+	fx, err := bench.NewHospitalFixture(scale)
+	if err != nil {
+		return err
+	}
+	shared, err := bench.SharedScanSuite(fx)
+	if err != nil {
+		return err
+	}
+	sharedPath := filepath.Join(outDir, "BENCH_shared_scan.json")
+	if err := bench.WriteJSON(sharedPath, shared); err != nil {
+		return err
+	}
+	fmt.Println("wrote", sharedPath)
+	streaming := bench.StreamingViewSuite(fx)
+	streamingPath := filepath.Join(outDir, "BENCH_streaming_view.json")
+	if err := bench.WriteJSON(streamingPath, streaming); err != nil {
+		return err
+	}
+	fmt.Println("wrote", streamingPath)
+	return nil
 }
 
 func run(cfg experiments.Config, all bool, table, figure int) error {

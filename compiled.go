@@ -1,6 +1,7 @@
 package xmlac
 
 import (
+	"io"
 	"sync"
 
 	"xmlac/internal/core"
@@ -131,6 +132,79 @@ func runViewPipeline(src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOp
 	}
 	return res, buildMetrics(st.reader.Costs(), decoder.BytesSkipped(), res), nil
 }
+
+// CompiledView describes one subject's requested view inside a shared scan
+// (AuthorizedViewsCompiled): the subject's compiled policy, its per-view
+// options (query, dummy names, indentation — everything is per-subject) and
+// an optional streaming destination.
+type CompiledView struct {
+	// Policy is the subject's compiled policy. Required.
+	Policy *CompiledPolicy
+	// Options tunes this subject's view independently of the other subjects
+	// sharing the scan.
+	Options ViewOptions
+	// Output, when non-nil, receives the subject's authorized view as
+	// streamed XML while the shared scan runs (the streaming delivery of
+	// StreamAuthorizedViewCompiled). When nil the view is materialized into
+	// ViewResult.View (the AuthorizedViewCompiled behaviour).
+	Output io.Writer
+}
+
+// ViewResult is the per-subject outcome of a shared scan, in AddSubject
+// order. A subject whose delivery failed (its Output stopped accepting
+// bytes) carries the error here; the other subjects' views are unaffected.
+type ViewResult struct {
+	// View is the materialized view for requests without an Output writer,
+	// non-nil like AuthorizedViewCompiled's (View.IsEmpty reports an empty
+	// authorized view); nil when the view was streamed to Output.
+	View *Document
+	// Metrics describes the evaluation. The per-subject counters
+	// (NodesPermitted, NodesDenied, NodesPending, SubtreesSkipped) are
+	// identical to a solo evaluation of the same policy; the shared-cost
+	// fields (BytesTransferred, BytesDecrypted, BytesSkipped and the derived
+	// EstimatedSmartCardSeconds) describe the one shared pass and are the
+	// same for every subject — the whole point of sharing the scan.
+	Metrics *Metrics
+	// Err is the per-subject failure, if any.
+	Err error
+}
+
+// AuthorizedViewsCompiled evaluates N compiled policies — one per subject —
+// over a single decrypt/integrity-check/parse pass of the protected document:
+// the shared-scan multicast path. Every subject gets its own automata,
+// delivery sink and metrics; the expensive streaming pass (the dominant cost
+// of the paper's model) is paid once instead of N times. The Skip index
+// degrades to the union of the subjects' needed regions: a subtree is
+// physically skipped only when every subject skips it, while per-subject
+// accounting still reports what each solo scan would have skipped.
+//
+// Per-subject output is byte-identical to StreamAuthorizedViewCompiled (or
+// AuthorizedViewCompiled when Output is nil) with the same policy and
+// options, and the per-subject metric counters are identical; only the
+// shared-cost fields differ. One subject's failing writer removes only that
+// subject from the scan. internal/server builds GET /view request coalescing
+// on top of this entry point.
+func (p *Protected) AuthorizedViewsCompiled(key Key, views []CompiledView) ([]ViewResult, error) {
+	return runMultiViewPipeline(p.prot, key, views)
+}
+
+// multiState bundles the machinery of one shared scan (secure reader plus one
+// evaluator per subject), pooled across scans like evalState is for solo
+// evaluations.
+type multiState struct {
+	reader *secure.Reader
+	evals  []*core.Evaluator
+}
+
+// evaluator returns the i-th pooled evaluator, growing the pool as needed.
+func (st *multiState) evaluator(i int) *core.Evaluator {
+	for len(st.evals) <= i {
+		st.evals = append(st.evals, &core.Evaluator{})
+	}
+	return st.evals[i]
+}
+
+var multiPool = sync.Pool{New: func() any { return &multiState{} }}
 
 // buildMetrics folds the secure-reader costs and the evaluator metrics into
 // the public Metrics record, including the smart-card execution estimate.

@@ -1,0 +1,236 @@
+// Package bench is the machine-readable benchmark harness: the same
+// measurement closures back the repository's `go test -bench` benchmarks
+// (BenchmarkSharedScan, via the root _test package) and the JSON emitter of
+// `xmlac-bench -json`, so the BENCH_*.json artifacts CI uploads on every run
+// track exactly the code the benchstat regression gate compares.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"xmlac"
+	"xmlac/internal/dataset"
+	"xmlac/internal/xmlstream"
+)
+
+// Result is one benchmark measurement in the stable schema of the
+// BENCH_*.json artifacts. Fields mirror the go-test bench output so the two
+// reporting paths stay comparable across PRs.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MBPerView is the authorized-view payload delivered per view (0 for
+	// benchmarks that do not deliver views).
+	MBPerView float64 `json:"mb_per_view"`
+}
+
+// mbPerViewMetric is the ReportMetric unit carrying the payload size from a
+// closure into testing.BenchmarkResult.Extra.
+const mbPerViewMetric = "MB/view"
+
+// Run executes one measurement closure through testing.Benchmark and folds
+// the outcome into the stable schema.
+func Run(name string, fn func(*testing.B)) Result {
+	res := testing.Benchmark(fn)
+	out := Result{
+		Name:        name,
+		Iters:       res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if v, ok := res.Extra[mbPerViewMetric]; ok {
+		out.MBPerView = v
+	}
+	return out
+}
+
+// WriteJSON writes results as an indented JSON array (one stable artifact
+// per suite: BENCH_shared_scan.json, BENCH_streaming_view.json).
+func WriteJSON(path string, results []Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Fixture is a protected hospital document with pre-compiled profile
+// policies, built once and shared by every measurement of a suite.
+type Fixture struct {
+	Key       xmlac.Key
+	Prot      *xmlac.Protected
+	Secretary *xmlac.CompiledPolicy
+	Doctor    *xmlac.CompiledPolicy
+}
+
+// NewHospitalFixture protects the paper's hospital dataset at the given
+// scale (1.0 approximates the paper's ~3.6 MB evaluation document).
+func NewHospitalFixture(scale float64) (*Fixture, error) {
+	doc, err := xmlac.ParseDocumentString(xmlstream.SerializeTree(dataset.Hospital(scale), false))
+	if err != nil {
+		return nil, err
+	}
+	key := xmlac.DeriveKey("bench")
+	prot, err := xmlac.Protect(doc, key, xmlac.SchemeECBMHT)
+	if err != nil {
+		return nil, err
+	}
+	secretary, err := xmlac.SecretaryPolicy().Compile()
+	if err != nil {
+		return nil, err
+	}
+	doctor, err := xmlac.DoctorPolicy("DrA").Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Fixture{Key: key, Prot: prot, Secretary: secretary, Doctor: doctor}, nil
+}
+
+// ClerkPolicies compiles n distinct administrative-clerk subjects (the
+// secretary profile under different subject names): the shared-scan fleet of
+// the amortization benchmark — many users, one role, one document.
+func (f *Fixture) ClerkPolicies(n int) ([]*xmlac.CompiledPolicy, error) {
+	cps := make([]*xmlac.CompiledPolicy, n)
+	for i := range cps {
+		p := xmlac.Policy{
+			Subject: fmt.Sprintf("clerk-%02d", i),
+			Rules:   []xmlac.Rule{{ID: "C1", Sign: "+", Object: "//Folder/Admin"}},
+		}
+		cp, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		cps[i] = cp
+	}
+	return cps, nil
+}
+
+// countWriter discards the view while counting its bytes.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// StreamingView measures the solo streaming delivery of one compiled policy
+// (the BenchmarkStreamingView "streaming" arm).
+func (f *Fixture) StreamingView(cp *xmlac.CompiledPolicy) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var bytesOut int64
+		for i := 0; i < b.N; i++ {
+			cw := &countWriter{}
+			if _, err := f.Prot.StreamAuthorizedViewCompiled(f.Key, cp, xmlac.ViewOptions{}, cw); err != nil {
+				b.Fatal(err)
+			}
+			bytesOut += cw.n
+		}
+		b.ReportMetric(float64(bytesOut)/float64(b.N)/(1<<20), mbPerViewMetric)
+	}
+}
+
+// MaterializedView measures the materialize-then-serialize delivery (the
+// BenchmarkStreamingView "materialized" arm).
+func (f *Fixture) MaterializedView(cp *xmlac.CompiledPolicy) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var bytesOut int64
+		for i := 0; i < b.N; i++ {
+			view, _, err := f.Prot.AuthorizedViewCompiled(f.Key, cp, xmlac.ViewOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytesOut += int64(len(view.XML()))
+		}
+		b.ReportMetric(float64(bytesOut)/float64(b.N)/(1<<20), mbPerViewMetric)
+	}
+}
+
+// SharedScanSolo serves every subject with its own scan per op: the
+// pre-coalescing server behaviour, linear in the number of subjects.
+func (f *Fixture) SharedScanSolo(cps []*xmlac.CompiledPolicy) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var bytesOut, views int64
+		for i := 0; i < b.N; i++ {
+			for _, cp := range cps {
+				cw := &countWriter{}
+				if _, err := f.Prot.StreamAuthorizedViewCompiled(f.Key, cp, xmlac.ViewOptions{}, cw); err != nil {
+					b.Fatal(err)
+				}
+				bytesOut += cw.n
+				views++
+			}
+		}
+		b.ReportMetric(float64(bytesOut)/float64(views)/(1<<20), mbPerViewMetric)
+	}
+}
+
+// SharedScanMulticast serves every subject from one shared scan per op
+// (AuthorizedViewsCompiled): one decryption/integrity/parse pass regardless
+// of the subject count.
+func (f *Fixture) SharedScanMulticast(cps []*xmlac.CompiledPolicy) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var bytesOut, views int64
+		for i := 0; i < b.N; i++ {
+			cvs := make([]xmlac.CompiledView, len(cps))
+			cws := make([]*countWriter, len(cps))
+			for j, cp := range cps {
+				cws[j] = &countWriter{}
+				cvs[j] = xmlac.CompiledView{Policy: cp, Output: cws[j]}
+			}
+			results, err := f.Prot.AuthorizedViewsCompiled(f.Key, cvs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				bytesOut += cws[j].n
+				views++
+			}
+		}
+		b.ReportMetric(float64(bytesOut)/float64(views)/(1<<20), mbPerViewMetric)
+	}
+}
+
+// SharedScanSubjectCounts is the subject axis of the shared-scan suite.
+var SharedScanSubjectCounts = []int{1, 4, 16, 64}
+
+// SharedScanSuite measures solo vs multicast for every subject count and
+// returns the results in the stable schema.
+func SharedScanSuite(fx *Fixture) ([]Result, error) {
+	var out []Result
+	for _, n := range SharedScanSubjectCounts {
+		cps, err := fx.ClerkPolicies(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			Run(fmt.Sprintf("SharedScan/solo/subjects=%d", n), fx.SharedScanSolo(cps)),
+			Run(fmt.Sprintf("SharedScan/multicast/subjects=%d", n), fx.SharedScanMulticast(cps)),
+		)
+	}
+	return out, nil
+}
+
+// StreamingViewSuite measures the two delivery paths for the secretary and
+// doctor profiles and returns the results in the stable schema.
+func StreamingViewSuite(fx *Fixture) []Result {
+	return []Result{
+		Run("StreamingView/secretary/materialized", fx.MaterializedView(fx.Secretary)),
+		Run("StreamingView/secretary/streaming", fx.StreamingView(fx.Secretary)),
+		Run("StreamingView/doctor/materialized", fx.MaterializedView(fx.Doctor)),
+		Run("StreamingView/doctor/streaming", fx.StreamingView(fx.Doctor)),
+	}
+}

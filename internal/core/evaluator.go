@@ -230,6 +230,15 @@ func (e *Evaluator) Run() (*Result, error) {
 			return nil, err
 		}
 	}
+	return e.Finish()
+}
+
+// Finish finalizes the result after the last event has been processed: the
+// remaining skeleton is flushed, unresolved predicates deny their nodes and
+// the sink delivery is ended. Callers that drive the evaluator through
+// ProcessEvent (the MultiEvaluator dispatching one shared scan to many
+// subjects) call it in place of Run.
+func (e *Evaluator) Finish() (*Result, error) {
 	view, err := e.builder.finalize()
 	if err != nil {
 		return nil, err

@@ -64,7 +64,10 @@ func TestPolicyCacheLRUEviction(t *testing.T) {
 }
 
 func TestPolicyCacheInvalidateDoc(t *testing.T) {
-	c := NewPolicyCache(64)
+	// 256 over 16 shards = 16 per shard: the 16 keys below can never trigger
+	// an eviction regardless of how the seeded hash distributes them, so the
+	// length check observes invalidation only.
+	c := NewPolicyCache(256)
 	cp := compiledPolicy(t, "DrA")
 	for i := 0; i < 8; i++ {
 		c.Put(cacheKey{docID: "a", subject: fmt.Sprintf("s%d", i), hash: "h"}, cp)

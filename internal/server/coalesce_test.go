@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"xmlac"
+)
+
+// TestCoalesceAdmit unit-tests the admission decisions of the coalescing
+// table: the first request of a wave leads, requests inside the window join,
+// filling the cap seals the batch, and arrivals during a sealed (scanning)
+// batch fall back to the solo path instead of queueing.
+func TestCoalesceAdmit(t *testing.T) {
+	c := newCoalescer(time.Hour, 3) // the timer never fires during the test
+	key := "doc\x00etag"
+	newReq := func() *viewRequest { return &viewRequest{done: make(chan struct{})} }
+
+	lead := newReq()
+	b, admitted := c.admit(key, nil, lead)
+	if admitted != admitLead || b == nil || len(b.reqs) != 1 {
+		t.Fatalf("first request must lead a new batch, got %v", admitted)
+	}
+	if _, admitted := c.admit(key, nil, newReq()); admitted != admitJoin {
+		t.Fatalf("second request must join the open batch, got %v", admitted)
+	}
+	select {
+	case <-b.sealCh:
+		t.Fatal("batch sealed before the cap filled")
+	default:
+	}
+	if _, admitted := c.admit(key, nil, newReq()); admitted != admitJoin {
+		t.Fatal("third request must join")
+	}
+	select {
+	case <-b.sealCh:
+	default:
+		t.Fatal("filling the cap must seal the batch immediately")
+	}
+	// Sealed batch still in the table: a late joiner goes solo.
+	if _, admitted := c.admit(key, nil, newReq()); admitted != admitSolo {
+		t.Fatal("arrival during a sealed batch must fall back to solo")
+	}
+	c.finish(key, b)
+	// After the scan finished a new wave can form.
+	if _, admitted := c.admit(key, nil, newReq()); admitted != admitLead {
+		t.Fatal("first request after a finished batch must lead a new wave")
+	}
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].Document != "doc" {
+		t.Fatalf("unexpected stats snapshot: %+v", snap)
+	}
+	if snap[0].LateFallbacks != 1 || snap[0].SharedScans != 1 || snap[0].CoalescedViews != 3 {
+		t.Fatalf("unexpected counters: %+v", snap[0])
+	}
+	if snap[0].SubjectsPerScan["le_4"] != 1 {
+		t.Fatalf("3-subject batch must land in bucket le_4: %+v", snap[0].SubjectsPerScan)
+	}
+}
+
+// TestViewCoalescingSharedScan runs three concurrent GET /view requests for
+// distinct subjects of the same document with a generous join window and a
+// cap of three: they must coalesce into one shared scan, each receiving
+// exactly the bytes its solo scan would produce, and /metrics must report the
+// batch.
+func TestViewCoalescingSharedScan(t *testing.T) {
+	srv := New(Options{CoalesceWindow: 2 * time.Second, CoalesceMaxSubjects: 3})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	xml := hospitalXML(12)
+	putDoc(t, ts, "hospital", xml)
+	subjects := []string{"DrA", "DrB", "DrC"}
+	for _, subj := range subjects {
+		putPolicy(t, ts, "hospital", subj, doctorRulesJSON)
+	}
+
+	// Expected bytes: the solo streaming path, straight off the store.
+	entry, err := srv.Store().Entry("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string, len(subjects))
+	for _, subj := range subjects {
+		rec, err := entry.PolicyFor(subj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := rec.Policy.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := entry.StreamView(cp, xmlac.ViewOptions{}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		want[subj] = buf.String()
+	}
+
+	var wg sync.WaitGroup
+	bodies := make([]string, len(subjects))
+	errs := make([]error, len(subjects))
+	for i, subj := range subjects {
+		wg.Add(1)
+		go func(i int, subj string) {
+			defer wg.Done()
+			resp, body := do(t, http.MethodGet, fmt.Sprintf("%s/docs/hospital/view?subject=%s", ts.URL, subj), "")
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("subject %s: status %d: %s", subj, resp.StatusCode, body)
+				return
+			}
+			bodies[i] = body
+		}(i, subj)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, subj := range subjects {
+		if bodies[i] != want[subj] {
+			t.Fatalf("subject %s: coalesced view differs from solo view (%d vs %d bytes)",
+				subj, len(bodies[i]), len(want[subj]))
+		}
+	}
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	var metrics struct {
+		Coalescing struct {
+			Enabled   bool               `json:"enabled"`
+			Documents []CoalesceDocStats `json:"documents"`
+		} `json:"coalescing"`
+	}
+	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	if !metrics.Coalescing.Enabled {
+		t.Fatal("/metrics must report coalescing enabled")
+	}
+	if len(metrics.Coalescing.Documents) != 1 {
+		t.Fatalf("expected one document's coalescing stats, got %+v", metrics.Coalescing.Documents)
+	}
+	st := metrics.Coalescing.Documents[0]
+	if st.Document != "hospital" || st.SharedScans != 1 || st.CoalescedViews != 3 {
+		t.Fatalf("expected one shared scan of 3 subjects, got %+v", st)
+	}
+	if st.SubjectsPerScan["le_4"] != 1 {
+		t.Fatalf("3-subject scan must land in bucket le_4, got %+v", st.SubjectsPerScan)
+	}
+
+	// Amortized accounting: the three coalesced views fold exactly one shared
+	// pass into the server totals — not three times the shared-cost fields
+	// each client's trailers report.
+	var totals struct {
+		Totals xmlac.Metrics `json:"totals"`
+	}
+	if err := json.Unmarshal([]byte(body), &totals); err != nil {
+		t.Fatal(err)
+	}
+	direct := make([]xmlac.CompiledView, 0, len(subjects))
+	for _, subj := range subjects {
+		rec, err := entry.PolicyFor(subj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := rec.Policy.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct = append(direct, xmlac.CompiledView{Policy: cp, Output: io.Discard})
+	}
+	results, err := entry.StreamViews(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedDecrypted := results[0].Metrics.BytesDecrypted
+	if sharedDecrypted <= 0 {
+		t.Fatal("shared scan must decrypt bytes")
+	}
+	if got := totals.Totals.BytesDecrypted; got != sharedDecrypted {
+		t.Fatalf("totals.BytesDecrypted = %d, want exactly one shared pass (%d), not %d",
+			got, sharedDecrypted, 3*sharedDecrypted)
+	}
+}
+
+// TestViewCoalescingSingleton: with nobody joining inside the window, the
+// leader serves itself through the solo engine and the batch is recorded as a
+// solo scan.
+func TestViewCoalescingSingleton(t *testing.T) {
+	srv := New(Options{CoalesceWindow: 5 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	putDoc(t, ts, "doc", hospitalXML(4))
+	putPolicy(t, ts, "doc", "DrA", doctorRulesJSON)
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=DrA", "")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("GET /view: %d (%d bytes)", resp.StatusCode, len(body))
+	}
+	snap := srv.coalesce.Snapshot()
+	if len(snap) != 1 || snap[0].SoloScans != 1 || snap[0].SharedScans != 0 {
+		t.Fatalf("singleton batch must be recorded as a solo scan: %+v", snap)
+	}
+}
+
+// TestViewCoalescingDisabled: DisableCoalescing restores the solo path and
+// /metrics reports coalescing off.
+func TestViewCoalescingDisabled(t *testing.T) {
+	srv := New(Options{DisableCoalescing: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	putDoc(t, ts, "doc", hospitalXML(4))
+	putPolicy(t, ts, "doc", "DrA", doctorRulesJSON)
+	resp, body := do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=DrA", "")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("GET /view: %d (%d bytes)", resp.StatusCode, len(body))
+	}
+	if srv.coalesce != nil {
+		t.Fatal("DisableCoalescing must leave the coalescer nil")
+	}
+	_, metricsBody := do(t, http.MethodGet, ts.URL+"/metrics", "")
+	var metrics struct {
+		Coalescing struct {
+			Enabled bool `json:"enabled"`
+		} `json:"coalescing"`
+	}
+	if err := json.Unmarshal([]byte(metricsBody), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Coalescing.Enabled {
+		t.Fatal("/metrics must report coalescing disabled")
+	}
+}

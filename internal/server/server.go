@@ -30,6 +30,19 @@ type Options struct {
 	// MaxDocumentBytes bounds the accepted XML body size (<= 0 selects
 	// 64 MiB).
 	MaxDocumentBytes int64
+	// CoalesceWindow is how long the first GET /view request of a wave waits
+	// for other subjects of the same (document, blob etag) to join its shared
+	// scan (<= 0 selects DefaultCoalesceWindow). The window bounds the
+	// latency cost of coalescing on idle traffic; under load it converts N
+	// concurrent decrypt/parse passes into one.
+	CoalesceWindow time.Duration
+	// CoalesceMaxSubjects caps the subjects sharing one scan (<= 0 selects
+	// DefaultCoalesceMaxSubjects). Filling the cap seals the batch without
+	// waiting out the window.
+	CoalesceMaxSubjects int
+	// DisableCoalescing turns request coalescing off: every GET /view runs
+	// its own scan (the pre-coalescing behaviour).
+	DisableCoalescing bool
 }
 
 // Server is the multi-tenant document server: protected documents and
@@ -41,6 +54,7 @@ type Server struct {
 	store    *Store
 	cache    *PolicyCache
 	sessions *SessionManager
+	coalesce *coalescer // nil when coalescing is disabled
 	opts     Options
 	started  time.Time
 
@@ -64,13 +78,17 @@ func New(opts Options) *Server {
 	if opts.MaxDocumentBytes <= 0 {
 		opts.MaxDocumentBytes = 64 << 20
 	}
-	return &Server{
+	s := &Server{
 		store:    NewStore(),
 		cache:    NewPolicyCache(opts.CacheCapacity),
 		sessions: NewSessionManager(opts.SessionIdle),
 		opts:     opts,
 		started:  time.Now(),
 	}
+	if !opts.DisableCoalescing {
+		s.coalesce = newCoalescer(opts.CoalesceWindow, opts.CoalesceMaxSubjects)
+	}
+	return s
 }
 
 // Store exposes the document store (used by cmd/xmlac-serve to preload demo
@@ -386,7 +404,23 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	}, ", "))
 	flusher, _ := w.(http.Flusher)
 	vw := &viewWriter{ctx: r.Context(), w: w, flusher: flusher}
-	metrics, err := entry.StreamView(cp, opts, vw)
+	// Request coalescing: concurrent views of the same immutable blob join
+	// one shared scan (one decryption pass serving every joined subject)
+	// instead of each running their own; the leader's goroutine writes every
+	// member's body, so this handler's writer must stay valid until the
+	// batch result arrives — serve blocks until then.
+	var metrics, accounting *xmlac.Metrics
+	if s.coalesce != nil {
+		_, etag := entry.Blob()
+		res, acct := s.coalesce.serve(entry.ID+"\x00"+etag, entry,
+			xmlac.CompiledView{Policy: cp, Options: opts, Output: vw})
+		metrics, accounting, err = res.Metrics, acct, res.Err
+	} else {
+		metrics, err = entry.StreamView(cp, opts, vw)
+	}
+	if accounting == nil {
+		accounting = metrics
+	}
 	if err != nil {
 		sess.RecordError()
 		s.viewErrors.Add(1)
@@ -412,9 +446,12 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
-	sess.Record(metrics)
+	// Trailers carry the view's own metrics (the full shared-pass costs for a
+	// coalesced view, as AuthorizedViewsCompiled documents); the aggregates
+	// fold the amortized record so /metrics totals sum to physical work.
+	sess.Record(accounting)
 	s.viewsOK.Add(1)
-	s.addTotals(metrics)
+	s.addTotals(accounting)
 	// An empty authorized view is a legitimate outcome of the closed policy:
 	// the body is empty and the metrics still reach the client.
 }
@@ -498,6 +535,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.totalsMu.Lock()
 	totals := s.totals
 	s.totalsMu.Unlock()
+	coalescing := map[string]any{"enabled": s.coalesce != nil}
+	if s.coalesce != nil {
+		coalescing["window_ms"] = float64(s.coalesce.window) / float64(time.Millisecond)
+		coalescing["max_subjects_per_scan"] = s.coalesce.maxSubjects
+		coalescing["documents"] = s.coalesce.Snapshot()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"requests":       s.requests.Load(),
@@ -509,7 +552,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"misses":  misses,
 			"entries": s.cache.Len(),
 		},
-		"totals":   totals,
-		"sessions": sessions,
+		"coalescing": coalescing,
+		"totals":     totals,
+		"sessions":   sessions,
 	})
 }

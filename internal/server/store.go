@@ -218,6 +218,16 @@ func (e *DocumentEntry) StreamView(cp *xmlac.CompiledPolicy, opts xmlac.ViewOpti
 	return e.prot.StreamAuthorizedViewCompiled(e.key, cp, opts, w)
 }
 
+// StreamViews evaluates many subjects' compiled policies over a single
+// shared scan of the protected document (one decryption and integrity pass
+// for the whole batch), streaming each subject's view into its own writer.
+// One subject's failing writer surfaces in its ViewResult; the other
+// subjects' views are unaffected. The request coalescer builds GET /view
+// batches on top of this.
+func (e *DocumentEntry) StreamViews(views []xmlac.CompiledView) ([]xmlac.ViewResult, error) {
+	return e.prot.AuthorizedViewsCompiled(e.key, views)
+}
+
 // Blob returns the marshalled protected container and its strong ETag. Both
 // are immutable after registration.
 func (e *DocumentEntry) Blob() ([]byte, string) { return e.blob, e.etag }

@@ -288,6 +288,23 @@ func (d *Decoder) decodeElement() error {
 	return nil
 }
 
+// SkipDistance reports how many encoded bytes a SkipToClose at the given
+// depth would jump over, without performing the jump. A multicast scan
+// (core.MultiEvaluator) uses it to charge each subject the bytes its solo
+// evaluation would have skipped even when other subjects still need the
+// subtree, so per-subject skip accounting matches the solo path exactly.
+func (d *Decoder) SkipDistance(depth int) (int64, error) {
+	for i := len(d.stack) - 1; i >= 1; i-- {
+		if d.stack[i].depth == depth {
+			if skipped := d.stack[i].endOff - d.off; skipped > 0 {
+				return skipped, nil
+			}
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no open element at depth %d", ErrBadFormat, depth)
+}
+
 // SkipToClose implements xmlstream.Skipper: it jumps to the end of the
 // encoding of the element open at the given depth without reading the bytes
 // in between. The Close event of that element is produced by the next call

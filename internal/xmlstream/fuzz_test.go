@@ -1,0 +1,82 @@
+package xmlstream
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParser drives the hand-rolled streaming parser over arbitrary bytes.
+// The parser feeds everything downstream of an untrusted document source, so
+// it must never panic and must keep its event stream well-formed: events come
+// out with balanced, stack-consistent depths, and a document it accepts
+// round-trips through the serializer to the same event stream.
+func FuzzParser(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a></a>",
+		"<a><b>text</b><c x=\"1\"/></a>",
+		"<root><Folder><Admin><Age>71</Age></Admin></Folder></root>",
+		"<a><!-- comment --><![CDATA[raw]]><?pi data?><b>&amp;&lt;&gt;</b></a>",
+		"<a attr=\"v\" other='w'>mixed <b/> tail</a>",
+		"<\x00>",
+		"<a><b></a></b>",
+		"<a>unclosed",
+		"</a>",
+		"text only",
+		"<a>" + strings.Repeat("<b>", 40) + strings.Repeat("</b>", 40) + "</a>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		p := ParseString(doc)
+		depth := 0
+		events := 0
+		for {
+			ev, err := p.Next()
+			if err != nil {
+				break
+			}
+			events++
+			if events > 1<<20 {
+				t.Fatalf("parser produced over a million events for %d input bytes", len(doc))
+			}
+			switch ev.Kind {
+			case Open:
+				depth++
+				if ev.Depth != depth {
+					t.Fatalf("open %q at depth %d, parser stack says %d", ev.Name, ev.Depth, depth)
+				}
+			case Close:
+				if ev.Depth != depth {
+					t.Fatalf("close %q at depth %d, parser stack says %d", ev.Name, ev.Depth, depth)
+				}
+				depth--
+				if depth < 0 {
+					t.Fatal("more closes than opens")
+				}
+			case Text:
+				if ev.Depth != depth {
+					t.Fatalf("text at depth %d, parser stack says %d", ev.Depth, depth)
+				}
+			default:
+				t.Fatalf("unknown event kind %v", ev.Kind)
+			}
+		}
+
+		// Accepted documents round-trip: serialize the tree and re-parse to
+		// the same tree.
+		root, err := ParseTreeString(doc)
+		if err != nil {
+			return
+		}
+		xml := SerializeTree(root, false)
+		again, err := ParseTreeString(xml)
+		if err != nil {
+			t.Fatalf("serialized form of an accepted document rejected: %v\ninput:  %q\noutput: %q", err, doc, xml)
+		}
+		if SerializeTree(again, false) != xml {
+			t.Fatalf("serialize/parse round-trip unstable:\nfirst:  %q\nsecond: %q", xml, SerializeTree(again, false))
+		}
+	})
+}

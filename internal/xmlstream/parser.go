@@ -162,16 +162,30 @@ func (p *Parser) fill() error {
 		if name == "" {
 			return fmt.Errorf("%w: empty element name", ErrMalformed)
 		}
+		if strings.HasSuffix(name, "/") {
+			// "<0//>" would parse here as an element named "0/" whose
+			// serialized form reads back as self-closing: not representable.
+			return fmt.Errorf("%w: element name %q ends with '/'", ErrMalformed, name)
+		}
+		if c := name[0]; c == '!' || c == '?' || c == '/' {
+			// "< !x>" would produce an element whose serialized form starts
+			// with markup-dispatch characters ("<!x>": DOCTYPE, "<?": PI,
+			// "</": closing tag) and reads back as something else entirely.
+			return fmt.Errorf("%w: element name %q starts with %q", ErrMalformed, name, c)
+		}
 		p.stack = append(p.stack, name)
 		depth := len(p.stack)
 		p.queue = append(p.queue, Event{Kind: Open, Name: name, Depth: depth})
 		if p.AttributesAsElements {
 			for _, a := range attrs {
-				p.queue = append(p.queue,
-					Event{Kind: Open, Name: "@" + a.name, Depth: depth + 1},
-					Event{Kind: Text, Value: a.value, Depth: depth + 1},
-					Event{Kind: Close, Name: "@" + a.name, Depth: depth + 1},
-				)
+				p.queue = append(p.queue, Event{Kind: Open, Name: "@" + a.name, Depth: depth + 1})
+				// Attribute values get the same whitespace normalization as
+				// document text runs, so a synthetic attribute element
+				// serializes and re-parses to itself.
+				if v := strings.TrimSpace(a.value); v != "" {
+					p.queue = append(p.queue, Event{Kind: Text, Value: v, Depth: depth + 1})
+				}
+				p.queue = append(p.queue, Event{Kind: Close, Name: "@" + a.name, Depth: depth + 1})
 			}
 		}
 		if selfClosing {
@@ -192,7 +206,11 @@ func splitTag(raw string) (string, []attr) {
 	if i < 0 {
 		return raw, nil
 	}
-	name := raw[:i]
+	// TrimSpace covers more code points than the ASCII split set above (\v,
+	// \f, NBSP, ...); trimming the extracted token keeps the open-tag name
+	// byte-identical to what the closing-tag parse (which TrimSpaces the
+	// whole name) will produce.
+	name := strings.TrimSpace(raw[:i])
 	rest := raw[i:]
 	var attrs []attr
 	for {
@@ -205,6 +223,13 @@ func splitTag(raw string) (string, []attr) {
 			break
 		}
 		aname := strings.TrimSpace(rest[:eq])
+		if j := strings.LastIndexAny(aname, " \t\r\n"); j >= 0 {
+			// Bare tokens before a named attribute ("<a 0 0='v'>") are
+			// malformed XML; the tolerance policy drops them — only the
+			// name=value pair adjacent to the '=' survives, so synthetic
+			// attribute elements never carry whitespace in their names.
+			aname = aname[j+1:]
+		}
 		rest = strings.TrimLeft(rest[eq+1:], " \t\r\n")
 		if rest == "" {
 			break
@@ -217,7 +242,9 @@ func splitTag(raw string) (string, []attr) {
 		if end < 0 {
 			break
 		}
-		attrs = append(attrs, attr{name: aname, value: unescape(rest[1 : 1+end])})
+		if aname != "" && !strings.HasSuffix(aname, "/") {
+			attrs = append(attrs, attr{name: aname, value: unescape(rest[1 : 1+end])})
+		}
 		rest = rest[end+2:]
 	}
 	return name, attrs

@@ -1,10 +1,13 @@
 package xmlac
 
 import (
+	"fmt"
 	"io"
 	"time"
 
+	"xmlac/internal/core"
 	"xmlac/internal/secure"
+	"xmlac/internal/skipindex"
 	"xmlac/internal/xmlstream"
 )
 
@@ -85,6 +88,72 @@ func streamViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolicy, o
 	}
 	metrics.TimeToFirstByte = fw.ttfb
 	return metrics, nil
+}
+
+// runMultiViewPipeline runs the shared-scan multicast pipeline: one secure
+// reader and one Skip-index decoder feed a core.MultiEvaluator dispatching to
+// one evaluator (and serializer sink, for streamed views) per subject. The
+// per-scan machinery comes from a pool, like the solo pipeline's.
+func runMultiViewPipeline(src secure.ChunkSource, key Key, views []CompiledView) ([]ViewResult, error) {
+	if len(views) == 0 {
+		return nil, nil
+	}
+	st := multiPool.Get().(*multiState)
+	defer multiPool.Put(st)
+	var err error
+	if st.reader == nil {
+		st.reader, err = secure.NewReader(src, key)
+	} else {
+		err = st.reader.Reset(src, key)
+	}
+	if err != nil {
+		return nil, err
+	}
+	decoder, err := skipindex.NewDecoder(st.reader)
+	if err != nil {
+		return nil, err
+	}
+	multi := core.NewMultiEvaluator(decoder)
+	writers := make([]*firstByteWriter, len(views))
+	start := time.Now()
+	for i := range views {
+		if views[i].Policy == nil {
+			return nil, fmt.Errorf("xmlac: view %d: nil CompiledPolicy", i)
+		}
+		coreOpts, err := views[i].Options.coreOptions()
+		if err != nil {
+			return nil, fmt.Errorf("xmlac: view %d: %w", i, err)
+		}
+		if views[i].Output != nil {
+			fw := &firstByteWriter{w: views[i].Output, start: start}
+			writers[i] = fw
+			coreOpts.Sink = xmlstream.NewViewSerializer(fw, views[i].Options.Indent)
+		}
+		multi.AddSubject(st.evaluator(i), views[i].Policy.core, coreOpts)
+	}
+	outcomes, err := multi.Run()
+	if err != nil {
+		return nil, err
+	}
+	costs := st.reader.Costs()
+	physSkipped := decoder.BytesSkipped()
+	results := make([]ViewResult, len(views))
+	for i, out := range outcomes {
+		if out.Err != nil {
+			results[i] = ViewResult{Err: out.Err}
+			continue
+		}
+		metrics := buildMetrics(costs, physSkipped, out.Result)
+		if writers[i] != nil {
+			metrics.TimeToFirstByte = writers[i].ttfb
+		}
+		vr := ViewResult{Metrics: metrics}
+		if views[i].Output == nil {
+			vr.View = &Document{root: out.Result.View}
+		}
+		results[i] = vr
+	}
+	return results, nil
 }
 
 // firstByteWriter stamps the delay to the first delivered byte.
