@@ -88,6 +88,19 @@ func runJSON(scale float64, outDir string) error {
 		return err
 	}
 	fmt.Println("wrote", streamingPath)
+	// The update suite mutates its fixture (every op installs a new document
+	// version), so it gets its own instead of sharing fx with the view
+	// suites above.
+	updateFx, err := bench.NewHospitalFixture(scale)
+	if err != nil {
+		return err
+	}
+	updates := bench.UpdateSuite(updateFx)
+	updatePath := filepath.Join(outDir, "BENCH_update.json")
+	if err := bench.WriteJSON(updatePath, updates); err != nil {
+		return err
+	}
+	fmt.Println("wrote", updatePath)
 	return nil
 }
 

@@ -81,7 +81,7 @@ var evalPool = sync.Pool{New: func() any { return &evalState{} }}
 // compile-once / evaluate-many fast path. It produces byte-identical views
 // and identical metrics to AuthorizedView with the source policy.
 func (p *Protected) AuthorizedViewCompiled(key Key, cp *CompiledPolicy, opts ViewOptions) (*Document, *Metrics, error) {
-	return authorizedViewOverSource(p.prot, key, cp, opts)
+	return authorizedViewOverSource(p.snapshot(), key, cp, opts)
 }
 
 // authorizedViewOverSource materializes the authorized view over any chunk
@@ -185,7 +185,7 @@ type ViewResult struct {
 // subject from the scan. internal/server builds GET /view request coalescing
 // on top of this entry point.
 func (p *Protected) AuthorizedViewsCompiled(key Key, views []CompiledView) ([]ViewResult, error) {
-	return runMultiViewPipeline(p.prot, key, views)
+	return runMultiViewPipeline(p.snapshot(), key, views)
 }
 
 // multiState bundles the machinery of one shared scan (secure reader plus one

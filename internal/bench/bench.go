@@ -28,6 +28,10 @@ type Result struct {
 	// MBPerView is the authorized-view payload delivered per view (0 for
 	// benchmarks that do not deliver views).
 	MBPerView float64 `json:"mb_per_view"`
+	// ReencFrac is the fraction of ciphertext bytes re-encrypted per
+	// operation (update benchmarks only; 1.0 for the full re-protect
+	// baseline, 0 for benchmarks that do not update).
+	ReencFrac float64 `json:"reenc_frac,omitempty"`
 }
 
 // mbPerViewMetric is the ReportMetric unit carrying the payload size from a
@@ -48,6 +52,9 @@ func Run(name string, fn func(*testing.B)) Result {
 	if v, ok := res.Extra[mbPerViewMetric]; ok {
 		out.MBPerView = v
 	}
+	if v, ok := res.Extra[reencFracMetric]; ok {
+		out.ReencFrac = v
+	}
 	return out
 }
 
@@ -66,6 +73,8 @@ func WriteJSON(path string, results []Result) error {
 type Fixture struct {
 	Key       xmlac.Key
 	Prot      *xmlac.Protected
+	Doc       *xmlac.Document
+	Folders   int
 	Secretary *xmlac.CompiledPolicy
 	Doctor    *xmlac.CompiledPolicy
 }
@@ -73,6 +82,10 @@ type Fixture struct {
 // NewHospitalFixture protects the paper's hospital dataset at the given
 // scale (1.0 approximates the paper's ~3.6 MB evaluation document).
 func NewHospitalFixture(scale float64) (*Fixture, error) {
+	folders := int(800 * scale)
+	if folders < 3 {
+		folders = 3
+	}
 	doc, err := xmlac.ParseDocumentString(xmlstream.SerializeTree(dataset.Hospital(scale), false))
 	if err != nil {
 		return nil, err
@@ -90,7 +103,7 @@ func NewHospitalFixture(scale float64) (*Fixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fixture{Key: key, Prot: prot, Secretary: secretary, Doctor: doctor}, nil
+	return &Fixture{Key: key, Prot: prot, Doc: doc, Folders: folders, Secretary: secretary, Doctor: doctor}, nil
 }
 
 // ClerkPolicies compiles n distinct administrative-clerk subjects (the
@@ -201,6 +214,96 @@ func (f *Fixture) SharedScanMulticast(cps []*xmlac.CompiledPolicy) func(*testing
 			}
 		}
 		b.ReportMetric(float64(bytesOut)/float64(views)/(1<<20), mbPerViewMetric)
+	}
+}
+
+// reencFracMetric reports the fraction of ciphertext bytes an update
+// re-encrypted (dirty chunks over the whole document) — the chunk-granularity
+// payoff next to the wall-clock numbers.
+const reencFracMetric = "reenc-frac"
+
+// UpdateInPlace measures Protected.Update on an alternating same-length
+// phone-number edit in the middle of the document: the in-place fast path
+// (no re-encode, one or two dirty chunks re-encrypted).
+func (f *Fixture) UpdateInPlace() func(*testing.B) {
+	path := fmt.Sprintf("/Hospital/Folder[%d]/Admin/Phone", f.Folders/2)
+	values := [2]string{"5550000001", "5550000002"}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var reenc, total int64
+		for i := 0; i < b.N; i++ {
+			_, delta, err := f.Prot.Update(f.Key, []xmlac.Edit{
+				{Op: xmlac.EditSetText, Path: path, Text: values[i%2]},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reenc += delta.BytesReencrypted
+			total += delta.BytesReencrypted + delta.BytesReused
+		}
+		b.ReportMetric(float64(reenc)/float64(total), reencFracMetric)
+	}
+}
+
+// UpdateReencode measures Protected.Update on a length-changing clinical
+// comment rewrite near the end of the document: the structural path (full
+// Skip-index re-encode, chunk-granular re-encryption of the shifted tail).
+func (f *Fixture) UpdateReencode() func(*testing.B) {
+	path := fmt.Sprintf("/Hospital/Folder[%d]/MedActs/Act[1]/Details/Comments", f.Folders-1)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var reenc, total int64
+		for i := 0; i < b.N; i++ {
+			// Alternate the text length so every iteration shifts the
+			// encoding (a same-length rewrite would take the in-place fast
+			// path from the second iteration on).
+			text := fmt.Sprintf("revised clinical narrative %0*d", 4+(i%2)*13, i)
+			_, delta, err := f.Prot.Update(f.Key, []xmlac.Edit{
+				{Op: xmlac.EditSetText, Path: path, Text: text},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reenc += delta.BytesReencrypted
+			total += delta.BytesReencrypted + delta.BytesReused
+		}
+		b.ReportMetric(float64(reenc)/float64(total), reencFracMetric)
+	}
+}
+
+// UpdateReprotect measures the pre-update baseline for the same edit as
+// UpdateInPlace: apply it to a plain document and re-protect everything from
+// scratch (full encode, full encryption, full digest rebuild).
+func (f *Fixture) UpdateReprotect() func(*testing.B) {
+	path := fmt.Sprintf("/Hospital/Folder[%d]/Admin/Phone", f.Folders/2)
+	values := [2]string{"5550000001", "5550000002"}
+	return func(b *testing.B) {
+		// A standalone document: the fixture's tree belongs to f.Prot.
+		doc, err := xmlac.ParseDocumentString(f.Doc.XML())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := doc.ApplyEdits(xmlac.Edit{Op: xmlac.EditSetText, Path: path, Text: values[i%2]}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xmlac.Protect(doc, f.Key, xmlac.SchemeECBMHT); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(1.0, reencFracMetric)
+	}
+}
+
+// UpdateSuite measures delta updates (both regimes) against the full
+// re-protect baseline and returns the results in the stable schema.
+func UpdateSuite(fx *Fixture) []Result {
+	return []Result{
+		Run("Update/inplace", fx.UpdateInPlace()),
+		Run("Update/reencode", fx.UpdateReencode()),
+		Run("Update/reprotect", fx.UpdateReprotect()),
 	}
 }
 

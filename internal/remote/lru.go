@@ -57,6 +57,27 @@ func (c *pageLRU) put(idx int64, data []byte) {
 
 func (c *pageLRU) len() int { return c.ll.Len() }
 
+// remove drops one page if resident (delta-driven invalidation).
+func (c *pageLRU) remove(idx int64) {
+	if el, ok := c.m[idx]; ok {
+		c.ll.Remove(el)
+		delete(c.m, idx)
+	}
+}
+
+// removeAbove drops every page with an index greater than max (the document
+// shrank: pages past the new end of ciphertext are no longer addressable).
+func (c *pageLRU) removeAbove(max int64) {
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*pageEntry); e.idx > max {
+			c.ll.Remove(el)
+			delete(c.m, e.idx)
+		}
+		el = next
+	}
+}
+
 func (c *pageLRU) reset() {
 	c.ll.Init()
 	clear(c.m)

@@ -103,6 +103,10 @@ type WireStats struct {
 	BytesOnWire int64
 	// RoundTrips is the number of HTTP requests issued.
 	RoundTrips int64
+	// ChunksReused counts the integrity chunks whose cached pages survived a
+	// document update because the server's delta proved them unchanged — the
+	// payoff of version-aware invalidation over flushing the whole cache.
+	ChunksReused int64
 }
 
 // Source is an HTTP-backed secure.ChunkSource over an untrusted blob server.
@@ -112,6 +116,7 @@ type Source struct {
 	manifestURL string
 	blobURL     string
 	hashesURL   string
+	deltaURL    string
 	opts        Options
 
 	mu         sync.Mutex
@@ -141,6 +146,7 @@ func Open(baseURL string, opts Options) (*Source, error) {
 		manifestURL: base + "/manifest",
 		blobURL:     base + "/blob",
 		hashesURL:   base + "/hashes",
+		deltaURL:    base + "/delta",
 		opts:        opts.withDefaults(),
 		fragHashes:  map[int][][secure.DigestSize]byte{},
 		prevLast:    -1,
@@ -154,36 +160,45 @@ func Open(baseURL string, opts Options) (*Source, error) {
 	return s, nil
 }
 
-// load fetches the manifest and the container prefix. Callers hold s.mu.
-func (s *Source) load() error {
+// manifestPayload is the JSON body of GET /docs/{id}/manifest.
+type manifestPayload struct {
+	ETag     string `json:"etag"`
+	Manifest struct {
+		CiphertextOffset int64  `json:"ciphertext_offset"`
+		BlobSize         int64  `json:"blob_size"`
+		Version          uint64 `json:"version"`
+	} `json:"manifest"`
+}
+
+// fetchManifest retrieves and validates the manifest JSON. Callers hold s.mu.
+func (s *Source) fetchManifest() (manifestPayload, error) {
+	var payload manifestPayload
 	resp, err := s.do("GET", s.manifestURL, nil)
 	if err != nil {
-		return err
+		return payload, err
 	}
 	body, err := s.readAll(resp)
 	if err != nil {
-		return err
+		return payload, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote: manifest: %s", httpErrorDetail(resp, body))
-	}
-	var payload struct {
-		ETag     string `json:"etag"`
-		Manifest struct {
-			CiphertextOffset int64 `json:"ciphertext_offset"`
-			BlobSize         int64 `json:"blob_size"`
-		} `json:"manifest"`
+		return payload, fmt.Errorf("remote: manifest: %s", httpErrorDetail(resp, body))
 	}
 	if err := json.Unmarshal(body, &payload); err != nil {
-		return fmt.Errorf("remote: decoding manifest: %w", err)
+		return payload, fmt.Errorf("remote: decoding manifest: %w", err)
 	}
+	if off := payload.Manifest.CiphertextOffset; off <= 0 || off > payload.Manifest.BlobSize {
+		return payload, fmt.Errorf("remote: implausible ciphertext offset %d in manifest", off)
+	}
+	return payload, nil
+}
+
+// loadPrefix pulls and parses the container prefix (header plus encrypted
+// digest table) described by a manifest payload and installs it. Digests are
+// tiny and every integrity-checked read needs one, so prefetching the table
+// costs one round trip total. Callers hold s.mu.
+func (s *Source) loadPrefix(payload manifestPayload) error {
 	ctOff := payload.Manifest.CiphertextOffset
-	if ctOff <= 0 || ctOff > payload.Manifest.BlobSize {
-		return fmt.Errorf("remote: implausible ciphertext offset %d in manifest", ctOff)
-	}
-	// One range request pulls the whole container prefix: header plus
-	// encrypted digest table. Digests are tiny and every integrity-checked
-	// read needs one, so prefetching the table costs one round trip total.
 	prefix, etag, err := s.fetchPrefix(ctOff, payload.ETag)
 	if err != nil {
 		return err
@@ -204,6 +219,15 @@ func (s *Source) load() error {
 	s.etag = etag
 	s.ctOffset = ctOff
 	return nil
+}
+
+// load fetches the manifest and the container prefix. Callers hold s.mu.
+func (s *Source) load() error {
+	payload, err := s.fetchManifest()
+	if err != nil {
+		return err
+	}
+	return s.loadPrefix(payload)
 }
 
 // fetchPrefix retrieves blob[0, ctOff) and returns it with the blob's entity
@@ -299,6 +323,12 @@ func (s *Source) FragmentHashes(i int) ([][secure.DigestSize]byte, error) {
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("remote: fragment hashes for chunk %d: %s", i, httpErrorDetail(resp, body))
+	}
+	// Hashes of a different blob version would fail Merkle verification as
+	// tampering; detect the benign cause (the document moved on) and let the
+	// re-sync retry handle it instead.
+	if etag := resp.Header.Get("ETag"); etag != "" && s.etag != "" && etag != s.etag {
+		return nil, fmt.Errorf("%w: fragment hashes are for %s, client holds %s", ErrChanged, etag, s.etag)
 	}
 	want := s.man.NumFragments(i)
 	if len(body) != want*secure.DigestSize {
@@ -534,9 +564,12 @@ func (s *Source) runToPages(start int64, data []byte, out map[int64][]byte) {
 }
 
 // Revalidate asks the server whether the blob still matches this source's
-// entity tag (a 1-byte conditional range request). If it changed, the page
-// cache, digest table and fragment hashes are flushed and reloaded, and
-// Revalidate reports true.
+// entity tag (a 1-byte conditional range request). If it changed, the
+// client re-synchronizes: when the server can serve an update delta from
+// this source's version, only the chunks the delta names are evicted from
+// the page cache (clean chunks stay resident and count into
+// WireStats.ChunksReused); otherwise everything is flushed and reloaded.
+// Revalidate reports whether the document changed.
 func (s *Source) Revalidate() (changed bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -558,9 +591,133 @@ func (s *Source) Revalidate() (changed bool, err error) {
 	if resp.StatusCode == http.StatusNotModified {
 		return false, nil
 	}
+	return true, s.resyncLocked()
+}
+
+// Resync re-binds the source to the server's current document version:
+// the delta-aware path of Revalidate without the conditional probe, for
+// callers that already know the blob changed (ErrChanged from a range
+// fetch). Chunks the delta proves unchanged stay cached.
+func (s *Source) Resync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resyncLocked()
+}
+
+// resyncLocked synchronizes manifest, digest table, fragment hashes and page
+// cache with the server's current version. Callers hold s.mu.
+func (s *Source) resyncLocked() error {
+	payload, err := s.fetchManifest()
+	if err != nil {
+		return err
+	}
+	if payload.ETag != "" && payload.ETag == s.etag {
+		return nil // raced with a concurrent reload; already current
+	}
+	if delta := s.fetchDelta(payload); delta != nil {
+		if err := s.applyDelta(payload, delta); err == nil {
+			return nil
+		}
+		// A delta that fails to apply (layout drift, another concurrent
+		// update) degrades to the full flush below — correctness never
+		// depends on the fast path.
+	}
 	s.cache.reset()
 	clear(s.fragHashes)
-	return true, s.load()
+	s.prevLast = -1
+	return s.loadPrefix(payload)
+}
+
+// fetchDelta asks the server for the merged update delta from this source's
+// version to its current one. nil means "no usable delta" (server predates
+// the endpoint, version fell out of the retention window, or the response
+// does not line up with the manifest): the caller falls back to a flush.
+func (s *Source) fetchDelta(payload manifestPayload) *secure.Delta {
+	from := s.man.Version
+	if from == 0 || payload.Manifest.Version <= from {
+		return nil
+	}
+	resp, err := s.do("GET", s.deltaURL+"?from="+strconv.FormatUint(from, 10), nil)
+	if err != nil {
+		return nil
+	}
+	body, err := s.readAll(resp)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	delta, err := secure.UnmarshalDelta(body)
+	if err != nil {
+		return nil
+	}
+	if delta.FromVersion != from || delta.ToVersion != payload.Manifest.Version {
+		return nil
+	}
+	return delta
+}
+
+// applyDelta installs the new version while keeping every cached page of a
+// chunk the delta proves unchanged. The digest table and header are
+// re-fetched (one round trip — they are tiny and the delta's dirty chunks
+// have fresh digests anyway); pages of dirty chunks, pages past the new end
+// of ciphertext and fragment hashes of dirty or dropped chunks are evicted.
+// Callers hold s.mu.
+func (s *Source) applyDelta(payload manifestPayload, delta *secure.Delta) error {
+	oldMan := s.man
+	if err := s.loadPrefix(payload); err != nil {
+		return err
+	}
+	man := s.man
+	// The delta must describe exactly the transition the prefix confirms;
+	// chunk geometry never changes across updates.
+	if man.Version != delta.ToVersion || man.CiphertextLen != delta.NewCiphertextLen ||
+		man.NumChunks() != delta.NumChunks ||
+		man.ChunkSize != oldMan.ChunkSize || man.FragmentSize != oldMan.FragmentSize {
+		return fmt.Errorf("remote: delta does not match the server's current layout")
+	}
+	if payload.ETag != "" && s.etag != payload.ETag {
+		return fmt.Errorf("remote: blob changed while re-syncing")
+	}
+	pageSize := int64(s.opts.PageSize)
+	chunkSize := int64(man.ChunkSize)
+	dirty := make(map[int]bool, len(delta.DirtyChunks))
+	for _, c := range delta.DirtyChunks {
+		dirty[c] = true
+	}
+	for _, c := range delta.DirtyChunks {
+		start := int64(c) * chunkSize
+		for p := start / pageSize; p*pageSize < start+chunkSize; p++ {
+			s.cache.remove(p)
+		}
+		delete(s.fragHashes, c)
+	}
+	if man.CiphertextLen > 0 {
+		s.cache.removeAbove((man.CiphertextLen - 1) / pageSize)
+	}
+	for c := range s.fragHashes {
+		if c >= delta.NumChunks {
+			delete(s.fragHashes, c)
+		}
+	}
+	// Count the payoff after evicting, so a clean chunk whose only resident
+	// page straddled a dirty neighbour (page size not dividing the chunk
+	// size) is not claimed as reused: reused = clean chunks that actually
+	// kept at least one page.
+	reused := int64(0)
+	for c := 0; c < delta.NumChunks; c++ {
+		if dirty[c] {
+			continue
+		}
+		start, end := man.ChunkBounds(c)
+		for p := start / pageSize; p*pageSize < end; p++ {
+			if s.cache.contains(p) {
+				reused++
+				break
+			}
+		}
+	}
+	s.prevLast = -1
+	s.stats.ChunksReused += reused
+	return nil
 }
 
 // do issues a simple request through the counting path. Callers hold s.mu.

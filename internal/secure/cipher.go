@@ -127,11 +127,26 @@ func decryptPositionECB(block cipher.Block, data []byte, firstBlock uint64) []by
 // encryptCBC encrypts a buffer in CBC mode with a fixed derived IV (the
 // comparison schemes CBC-SHA and CBC-SHAC of Figure 11).
 func encryptCBC(block cipher.Block, data []byte, key Key) []byte {
-	iv := sha1.Sum(append([]byte("xmlac-iv"), key...))
-	mode := cipher.NewCBCEncrypter(block, iv[:BlockSize])
+	return encryptCBCFrom(block, data, cbcIV(key))
+}
+
+// encryptCBCFrom encrypts a buffer suffix in CBC mode chained off prev, the
+// ciphertext of the block immediately preceding the suffix (or the derived IV
+// when the suffix starts the document). Encrypting [0, len) with the IV is
+// exactly encryptCBC; re-encrypting a suffix whose preceding ciphertext is
+// unchanged reproduces, byte for byte, what a from-scratch encryption of the
+// whole buffer would put there — the property chunk-granular updates rely on.
+func encryptCBCFrom(block cipher.Block, data, prev []byte) []byte {
+	mode := cipher.NewCBCEncrypter(block, prev)
 	out := make([]byte, len(data))
 	mode.CryptBlocks(out, data)
 	return out
+}
+
+// cbcIV derives the fixed CBC initialization vector of encryptCBC.
+func cbcIV(key Key) []byte {
+	iv := sha1.Sum(append([]byte("xmlac-iv"), key...))
+	return iv[:BlockSize]
 }
 
 // decryptCBCRange decrypts the CBC ciphertext blocks [firstBlock,

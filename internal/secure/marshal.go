@@ -8,15 +8,21 @@ import (
 // The marshalled form of a Protected document is what the publisher stores
 // on the untrusted server / terminal:
 //
-//	magic "XSEC" | version 1 | scheme | chunkSize | fragmentSize | plainLen |
-//	numDigests | digests... | ciphertext
+//	magic "XSEC" | version 2 | scheme | chunkSize | fragmentSize | plainLen |
+//	docVersion | numDigests | digests... | ciphertext
 //
 // All integers are little-endian uint32/uint64. Nothing in the container is
-// secret (it is exactly what the attacker sees).
+// secret (it is exactly what the attacker sees). Container version 1 is the
+// same layout without the docVersion field (implicitly document version 1);
+// it is still accepted on unmarshal so blobs written before in-place updates
+// existed keep loading.
 
 var containerMagic = []byte("XSEC")
 
-const containerVersion = 1
+const (
+	containerVersion1 = 1
+	containerVersion  = 2
+)
 
 // Marshal serializes the protected document.
 func (p *Protected) Marshal() []byte {
@@ -27,6 +33,7 @@ func (p *Protected) Marshal() []byte {
 	out = appendUint32(out, uint32(p.ChunkSize))
 	out = appendUint32(out, uint32(p.FragmentSize))
 	out = appendUint64(out, uint64(p.PlainLen))
+	out = appendUint64(out, p.docVersion())
 	out = appendUint32(out, uint32(len(p.ChunkDigests)))
 	for _, d := range p.ChunkDigests {
 		out = appendUint32(out, uint32(len(d)))
@@ -54,7 +61,7 @@ func unmarshalPrefix(r *byteReader) (*Protected, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	if version != containerVersion {
+	if version != containerVersion && version != containerVersion1 {
 		return nil, 0, fmt.Errorf("secure: unsupported container version %d", version)
 	}
 	schemeByte, err := r.byte()
@@ -80,6 +87,17 @@ func unmarshalPrefix(r *byteReader) (*Protected, uint64, error) {
 	p.ChunkSize = int(chunkSize)
 	p.FragmentSize = int(fragSize)
 	p.PlainLen = int(plainLen)
+	p.Version = 1
+	if version >= containerVersion {
+		docVersion, err := r.uint64()
+		if err != nil {
+			return nil, 0, err
+		}
+		if docVersion == 0 {
+			return nil, 0, fmt.Errorf("secure: document version 0 (versions start at 1)")
+		}
+		p.Version = docVersion
+	}
 	nDigests, err := r.uint32()
 	if err != nil {
 		return nil, 0, err
@@ -104,6 +122,13 @@ func unmarshalPrefix(r *byteReader) (*Protected, uint64, error) {
 	ctLen, err := r.uint64()
 	if err != nil {
 		return nil, 0, err
+	}
+	// Bound the declared sizes so downstream arithmetic (chunk counts, range
+	// math, allocations) cannot overflow or balloon on a hostile container:
+	// the prefix is exactly what an untrusted blob server controls.
+	const maxPlausibleLen = 1 << 40
+	if plainLen > maxPlausibleLen || ctLen > maxPlausibleLen {
+		return nil, 0, fmt.Errorf("secure: implausible container sizes (plain %d, ciphertext %d)", plainLen, ctLen)
 	}
 	return p, ctLen, nil
 }
@@ -130,7 +155,7 @@ func Unmarshal(data []byte) (*Protected, error) {
 // marshalled container: everything before it is the header and digest table
 // a remote client fetches once at open time.
 func (p *Protected) CiphertextOffset() int64 {
-	off := int64(len(containerMagic)) + 1 + 1 + 4 + 4 + 8 + 4
+	off := int64(len(containerMagic)) + 1 + 1 + 4 + 4 + 8 + 8 + 4
 	for _, d := range p.ChunkDigests {
 		off += 4 + int64(len(d))
 	}
@@ -158,6 +183,7 @@ func UnmarshalManifest(prefix []byte) (Manifest, [][]byte, int64, error) {
 		PlainLen:      p.PlainLen,
 		CiphertextLen: int64(ctLen),
 		NumDigests:    len(p.ChunkDigests),
+		Version:       p.docVersion(),
 	}
 	return man, p.ChunkDigests, int64(r.pos), nil
 }

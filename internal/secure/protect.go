@@ -46,7 +46,9 @@ func (s Scheme) String() string {
 func Schemes() []Scheme { return []Scheme{SchemeECB, SchemeCBCSHA, SchemeCBCSHAC, SchemeECBMHT} }
 
 // Protected is an encrypted document as stored on the server / terminal
-// side.
+// side. A Protected value is immutable once built: Update produces a new
+// value sharing the layout, never patches one in place, so concurrent
+// readers always see a consistent single version.
 type Protected struct {
 	Scheme Scheme
 	// Ciphertext is the encrypted, padded document body.
@@ -60,6 +62,18 @@ type Protected struct {
 	// ChunkDigests[i] is the encrypted digest of chunk i (empty for
 	// SchemeECB).
 	ChunkDigests [][]byte
+	// Version is the monotonic document version, starting at 1 for a fresh
+	// Protect and bumped by every Update. The zero value reads as version 1
+	// so Protected literals built by older code keep working.
+	Version uint64
+}
+
+// docVersion returns the effective document version (the zero value means 1).
+func (p *Protected) docVersion() uint64 {
+	if p.Version == 0 {
+		return 1
+	}
+	return p.Version
 }
 
 // NumChunks returns the number of chunks of the protected document.
@@ -112,6 +126,7 @@ func Protect(plaintext []byte, key Key, opts ProtectOptions) (*Protected, error)
 		PlainLen:     len(plaintext),
 		ChunkSize:    chunkSize,
 		FragmentSize: fragmentSize,
+		Version:      1,
 	}
 	switch opts.Scheme {
 	case SchemeECB, SchemeECBMHT:

@@ -17,6 +17,9 @@ type Manifest struct {
 	CiphertextLen int64
 	// NumDigests is the number of encrypted chunk digests (0 for SchemeECB).
 	NumDigests int
+	// Version is the monotonic document version stamped by Protect (1) and
+	// bumped by every Update.
+	Version uint64
 }
 
 // NumChunks returns the number of integrity chunks of the document.
@@ -81,6 +84,7 @@ func (p *Protected) Manifest() Manifest {
 		PlainLen:      p.PlainLen,
 		CiphertextLen: int64(len(p.Ciphertext)),
 		NumDigests:    len(p.ChunkDigests),
+		Version:       p.docVersion(),
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,7 +62,7 @@ type scanBatch struct {
 	reqs   []*viewRequest
 	state  batchState
 	sealCh chan struct{}
-	timer  *time.Timer
+	timer  timerHandle
 }
 
 // CoalesceDocStats is the externally visible per-document coalescing record
@@ -96,22 +97,27 @@ type docStats struct {
 type coalescer struct {
 	window      time.Duration
 	maxSubjects int
+	clock       clock
 
 	mu    sync.Mutex
 	open  map[string]*scanBatch
 	stats map[string]*docStats
 }
 
-func newCoalescer(window time.Duration, maxSubjects int) *coalescer {
+func newCoalescer(window time.Duration, maxSubjects int, clk clock) *coalescer {
 	if window <= 0 {
 		window = DefaultCoalesceWindow
 	}
 	if maxSubjects <= 0 {
 		maxSubjects = DefaultCoalesceMaxSubjects
 	}
+	if clk == nil {
+		clk = realClock{}
+	}
 	return &coalescer{
 		window:      window,
 		maxSubjects: maxSubjects,
+		clock:       clk,
 		open:        make(map[string]*scanBatch),
 		stats:       make(map[string]*docStats),
 	}
@@ -144,9 +150,25 @@ func (c *coalescer) admit(key string, entry *DocumentEntry, req *viewRequest) (*
 		return nil, admitSolo
 	}
 	b := &scanBatch{entry: entry, reqs: []*viewRequest{req}, sealCh: make(chan struct{})}
-	b.timer = time.AfterFunc(c.window, func() { c.seal(b) })
+	b.timer = c.clock.AfterFunc(c.window, func() { c.seal(b) })
 	c.open[key] = b
 	return b, admitLead
+}
+
+// invalidateDoc seals every open batch of a document: an update changed the
+// blob, so the next wave must key on the new entity tag instead of joining a
+// batch bound to the old one. Batches already scanning finish on the
+// snapshot they started with — every response stays a single consistent
+// version.
+func (c *coalescer) invalidateDoc(docID string) {
+	prefix := docID + "\x00"
+	c.mu.Lock()
+	for key, b := range c.open {
+		if strings.HasPrefix(key, prefix) {
+			c.sealLocked(b)
+		}
+	}
+	c.mu.Unlock()
 }
 
 // seal closes the join window of a batch (idempotent). The batch stays in the

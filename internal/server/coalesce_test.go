@@ -19,7 +19,7 @@ import (
 // filling the cap seals the batch, and arrivals during a sealed (scanning)
 // batch fall back to the solo path instead of queueing.
 func TestCoalesceAdmit(t *testing.T) {
-	c := newCoalescer(time.Hour, 3) // the timer never fires during the test
+	c := newCoalescer(time.Hour, 3, newFakeClock()) // the window never elapses during the test
 	key := "doc\x00etag"
 	newReq := func() *viewRequest { return &viewRequest{done: make(chan struct{})} }
 
@@ -65,13 +65,22 @@ func TestCoalesceAdmit(t *testing.T) {
 	}
 }
 
+// openBatchCount reports the number of open coalescing batches (test
+// instrumentation; the fake-clock tests poll it to know a leader is waiting).
+func (c *coalescer) openBatchCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.open)
+}
+
 // TestViewCoalescingSharedScan runs three concurrent GET /view requests for
-// distinct subjects of the same document with a generous join window and a
-// cap of three: they must coalesce into one shared scan, each receiving
-// exactly the bytes its solo scan would produce, and /metrics must report the
-// batch.
+// distinct subjects of the same document with a cap of three: they must
+// coalesce into one shared scan, each receiving exactly the bytes its solo
+// scan would produce, and /metrics must report the batch. The fake clock
+// never advances, so the join window cannot elapse early on a loaded
+// runner — the cap alone seals the batch, deterministically.
 func TestViewCoalescingSharedScan(t *testing.T) {
-	srv := New(Options{CoalesceWindow: 2 * time.Second, CoalesceMaxSubjects: 3})
+	srv := New(Options{CoalesceWindow: 2 * time.Second, CoalesceMaxSubjects: 3, clock: newFakeClock()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -196,17 +205,39 @@ func TestViewCoalescingSharedScan(t *testing.T) {
 
 // TestViewCoalescingSingleton: with nobody joining inside the window, the
 // leader serves itself through the solo engine and the batch is recorded as a
-// solo scan.
+// solo scan. The fake clock makes the sequence deterministic: the request
+// provably waits inside the window until the test elapses it, instead of
+// racing a real 5ms timer.
 func TestViewCoalescingSingleton(t *testing.T) {
-	srv := New(Options{CoalesceWindow: 5 * time.Millisecond})
+	fc := newFakeClock()
+	srv := New(Options{CoalesceWindow: 5 * time.Millisecond, clock: fc})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	putDoc(t, ts, "doc", hospitalXML(4))
 	putPolicy(t, ts, "doc", "DrA", doctorRulesJSON)
 
-	resp, body := do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=DrA", "")
-	if resp.StatusCode != http.StatusOK || len(body) == 0 {
-		t.Fatalf("GET /view: %d (%d bytes)", resp.StatusCode, len(body))
+	type result struct {
+		status int
+		body   string
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, body := do(t, http.MethodGet, ts.URL+"/docs/doc/view?subject=DrA", "")
+		done <- result{resp.StatusCode, body}
+	}()
+	// The leader is blocked waiting for company until the window elapses.
+	for srv.coalesce.openBatchCount() == 0 {
+		select {
+		case res := <-done:
+			t.Fatalf("request finished before the window elapsed (status %d, %d bytes)", res.status, len(res.body))
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	fc.Advance(5 * time.Millisecond)
+	res := <-done
+	if res.status != http.StatusOK || len(res.body) == 0 {
+		t.Fatalf("GET /view: %d (%d bytes)", res.status, len(res.body))
 	}
 	snap := srv.coalesce.Snapshot()
 	if len(snap) != 1 || snap[0].SoloScans != 1 || snap[0].SharedScans != 0 {

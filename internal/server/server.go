@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -43,6 +44,11 @@ type Options struct {
 	// DisableCoalescing turns request coalescing off: every GET /view runs
 	// its own scan (the pre-coalescing behaviour).
 	DisableCoalescing bool
+
+	// clock overrides the wall clock for coalescing windows and session
+	// expiry; tests inject a fake to drive time deterministically. nil
+	// selects the real clock.
+	clock clock
 }
 
 // Server is the multi-tenant document server: protected documents and
@@ -62,6 +68,14 @@ type Server struct {
 	viewsOK    atomic.Int64
 	viewErrors atomic.Int64
 
+	// update counters (PATCH /docs/{id} and the delta surface).
+	updatesOK        atomic.Int64
+	updateErrors     atomic.Int64
+	deltasServed     atomic.Int64
+	chunksReencrypt  atomic.Int64
+	bytesReencrypted atomic.Int64
+	bytesReusedTotal atomic.Int64
+
 	// lifetime totals of the evaluation metrics, independent of session
 	// expiry (micro-sharded to keep concurrent views from serializing on one
 	// mutex would be overkill here: a single mutex guards a handful of adds
@@ -78,15 +92,18 @@ func New(opts Options) *Server {
 	if opts.MaxDocumentBytes <= 0 {
 		opts.MaxDocumentBytes = 64 << 20
 	}
+	if opts.clock == nil {
+		opts.clock = realClock{}
+	}
 	s := &Server{
 		store:    NewStore(),
 		cache:    NewPolicyCache(opts.CacheCapacity),
-		sessions: NewSessionManager(opts.SessionIdle),
+		sessions: NewSessionManager(opts.SessionIdle, opts.clock),
 		opts:     opts,
 		started:  time.Now(),
 	}
 	if !opts.DisableCoalescing {
-		s.coalesce = newCoalescer(opts.CoalesceWindow, opts.CoalesceMaxSubjects)
+		s.coalesce = newCoalescer(opts.CoalesceWindow, opts.CoalesceMaxSubjects, opts.clock)
 	}
 	return s
 }
@@ -101,15 +118,17 @@ func (s *Server) Cache() *PolicyCache { return s.cache }
 // Handler returns the HTTP handler serving the API:
 //
 //	PUT    /docs/{id}                      register a document (body: XML)
+//	PATCH  /docs/{id}                      apply subtree edits as the next version (body: JSON edits)
 //	GET    /docs                           list documents
 //	GET    /docs/{id}                      document info
 //	DELETE /docs/{id}                      delete a document
 //	PUT    /docs/{id}/policies/{subject}   install a subject's policy (body: JSON)
 //	GET    /docs/{id}/policies/{subject}   policy info
 //	GET    /docs/{id}/view?subject=S       stream the subject's authorized view
-//	GET    /docs/{id}/manifest             public layout (scheme, chunking, sizes)
-//	GET    /docs/{id}/blob                 encrypted container (Range, ETag)
+//	GET    /docs/{id}/manifest             public layout (scheme, chunking, sizes, version)
+//	GET    /docs/{id}/blob                 encrypted container (Range, per-version ETag)
 //	GET    /docs/{id}/hashes?chunk=N       fragment hashes of one chunk (ECB-MHT)
+//	GET    /docs/{id}/delta?from=V         merged update delta since version V (binary)
 //	GET    /metrics                        aggregated counters
 //	GET    /healthz                        liveness
 //
@@ -120,6 +139,7 @@ func (s *Server) Cache() *PolicyCache { return s.cache }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /docs/{id}", s.handlePutDoc)
+	mux.HandleFunc("PATCH /docs/{id}", s.handlePatchDoc)
 	mux.HandleFunc("GET /docs", s.handleListDocs)
 	mux.HandleFunc("GET /docs/{id}", s.handleGetDoc)
 	mux.HandleFunc("DELETE /docs/{id}", s.handleDeleteDoc)
@@ -129,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /docs/{id}/manifest", s.handleManifest)
 	mux.HandleFunc("GET /docs/{id}/blob", s.handleBlob)
 	mux.HandleFunc("GET /docs/{id}/hashes", s.handleFragmentHashes)
+	mux.HandleFunc("GET /docs/{id}/delta", s.handleDelta)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -192,6 +213,110 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, entry.Info())
+}
+
+// patchPayload is the JSON body of PATCH /docs/{id}.
+type patchPayload struct {
+	Edits []struct {
+		Op   string `json:"op"`
+		Path string `json:"path"`
+		XML  string `json:"xml"`
+		Text string `json:"text"`
+	} `json:"edits"`
+}
+
+// handlePatchDoc applies subtree edits as the document's next version:
+// chunk-granular re-encryption, a fresh per-version ETag, compiled-policy
+// and coalescer invalidation, and the step delta retained for remote chunk
+// caches. The whole batch applies atomically or not at all.
+func (s *Server) handlePatchDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	entry, err := s.store.Entry(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var payload patchPayload
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&payload); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding edits JSON: %v", err)
+		return
+	}
+	if len(payload.Edits) == 0 {
+		httpError(w, http.StatusBadRequest, "PATCH body carries no edits")
+		return
+	}
+	edits := make([]xmlac.Edit, len(payload.Edits))
+	for i, e := range payload.Edits {
+		edits[i] = xmlac.Edit{Op: xmlac.EditOp(e.Op), Path: e.Path, XML: e.XML, Text: e.Text}
+	}
+	version, delta, err := entry.Update(edits)
+	if err != nil {
+		s.updateErrors.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, xmlac.ErrInvalidEdit) {
+			status = http.StatusUnprocessableEntity
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	// Compiled policies do not depend on document content, but invalidating
+	// them on every content change keeps the cache's lifecycle rule simple
+	// (one rule for replace and update alike); recompilation is cheap and
+	// lazy. Open coalescing batches of the old blob are sealed so the next
+	// wave keys on the new etag.
+	s.cache.InvalidateDoc(id)
+	if s.coalesce != nil {
+		s.coalesce.invalidateDoc(id)
+	}
+	s.updatesOK.Add(1)
+	s.chunksReencrypt.Add(int64(len(delta.DirtyChunks)))
+	s.bytesReencrypted.Add(delta.BytesReencrypted)
+	s.bytesReusedTotal.Add(delta.BytesReused)
+	_, etag := entry.Blob()
+	w.Header().Set("ETag", etag)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"document": id,
+		"version":  version,
+		"delta":    delta,
+	})
+}
+
+// handleDelta serves the merged binary update delta from ?from=V to the
+// current version: what a remote chunk cache needs to evict only changed
+// chunks. 204 when the client is already current, 410 when V fell out of
+// the retained history (full re-sync required).
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.store.Entry(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "missing or invalid %q query parameter", "from")
+		return
+	}
+	delta, current, err := entry.DeltaSince(from)
+	h := w.Header()
+	h.Set("X-Xmlac-Version", strconv.FormatUint(current, 10))
+	if err != nil {
+		if errors.Is(err, ErrDeltaUnavailable) {
+			httpError(w, http.StatusGone, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if delta == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	_, etag := entry.Blob()
+	h.Set("ETag", etag)
+	h.Set("Content-Type", "application/octet-stream")
+	s.deltasServed.Add(1)
+	w.WriteHeader(http.StatusOK)
+	w.Write(delta.Marshal())
 }
 
 func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
@@ -547,6 +672,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"views_served":   s.viewsOK.Load(),
 		"view_errors":    s.viewErrors.Load(),
 		"documents":      s.store.Len(),
+		"updates": map[string]any{
+			"applied":            s.updatesOK.Load(),
+			"errors":             s.updateErrors.Load(),
+			"deltas_served":      s.deltasServed.Load(),
+			"chunks_reencrypted": s.chunksReencrypt.Load(),
+			"bytes_reencrypted":  s.bytesReencrypted.Load(),
+			"bytes_reused":       s.bytesReusedTotal.Load(),
+		},
 		"policy_cache": map[string]any{
 			"hits":    hits,
 			"misses":  misses,

@@ -369,8 +369,8 @@ func TestWrongMethodReturns405(t *testing.T) {
 	}{
 		{http.MethodPost, "/docs/doc/view", http.MethodGet},
 		{http.MethodDelete, "/docs", http.MethodGet},
-		{http.MethodPatch, "/docs/doc", http.MethodPut},
 		{http.MethodPost, "/docs/doc", http.MethodDelete},
+		{http.MethodPost, "/docs/doc/delta", http.MethodGet},
 		{http.MethodPut, "/docs/doc/blob", http.MethodGet},
 		{http.MethodPost, "/docs/doc/manifest", http.MethodGet},
 		{http.MethodDelete, "/docs/doc/hashes", http.MethodGet},

@@ -42,6 +42,7 @@ type SessionManager struct {
 	mu       sync.Mutex
 	sessions map[sessionKey]*Session
 	maxIdle  time.Duration
+	clock    clock
 	acquires int64
 }
 
@@ -49,19 +50,22 @@ type SessionManager struct {
 const DefaultSessionIdle = 15 * time.Minute
 
 // NewSessionManager builds a session manager; maxIdle <= 0 selects
-// DefaultSessionIdle.
-func NewSessionManager(maxIdle time.Duration) *SessionManager {
+// DefaultSessionIdle. A nil clock selects the wall clock.
+func NewSessionManager(maxIdle time.Duration, clk clock) *SessionManager {
 	if maxIdle <= 0 {
 		maxIdle = DefaultSessionIdle
 	}
-	return &SessionManager{sessions: make(map[sessionKey]*Session), maxIdle: maxIdle}
+	if clk == nil {
+		clk = realClock{}
+	}
+	return &SessionManager{sessions: make(map[sessionKey]*Session), maxIdle: maxIdle, clock: clk}
 }
 
 // Acquire returns the session for a (document, subject) pair, creating it on
 // first use and refreshing its idle timer.
 func (m *SessionManager) Acquire(docID, subject string) *Session {
 	k := sessionKey{docID: docID, subject: subject}
-	now := time.Now()
+	now := m.clock.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.acquires++

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/sha1"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -32,9 +33,10 @@ func NewStore() *Store {
 }
 
 // DocumentEntry is one registered document with its key and the policies of
-// its subjects. The protected form and key are immutable after registration;
-// the policy table has its own lock so policy updates do not block view
-// requests on other documents.
+// its subjects. The key is immutable after registration; the protected form
+// is versioned — PATCH updates install new versions in place (concurrent
+// views run on the version they snapshotted). The policy table has its own
+// lock so policy updates do not block view requests on other documents.
 type DocumentEntry struct {
 	ID        string
 	Scheme    xmlac.Scheme
@@ -44,16 +46,33 @@ type DocumentEntry struct {
 	prot *xmlac.Protected
 	key  xmlac.Key
 
-	// blob is the marshalled protected container (what an untrusted blob
-	// server stores and range-serves to remote SOE clients); etag is its
-	// strong entity tag (quoted SHA-256 of the content), sent on
-	// GET /docs/{id}/blob and checked against If-None-Match / If-Range.
-	blob []byte
-	etag string
+	// updateMu serializes updates end to end (edit application, blob
+	// re-marshal, delta retention), keeping the version chain linear.
+	updateMu sync.Mutex
 
+	// mu guards the whole untrusted-blob surface as one consistent unit —
+	// marshalled blob, its entity tag, the manifest, the version and the
+	// retained deltas all describe the same document version at any read —
+	// plus the policy table. blob is what an untrusted blob server stores
+	// and range-serves to remote SOE clients; etag is its strong entity tag
+	// (quoted SHA-256 of the content), sent on GET /docs/{id}/blob and
+	// checked against If-None-Match / If-Range — every document version has
+	// its own etag. (Views snapshot the protected form directly and may run
+	// one version ahead of the blob surface for the instant an update is
+	// being installed; each surface is internally consistent.)
 	mu       sync.RWMutex
+	blob     []byte
+	etag     string
+	manifest xmlac.DocumentManifest
+	version  uint64
+	deltas   []*xmlac.UpdateDelta
 	policies map[string]PolicyRecord
 }
+
+// maxRetainedDeltas bounds the per-document update history served through
+// GET /docs/{id}/delta. A client further behind than this falls back to a
+// full re-sync, exactly as if the document had been re-registered.
+const maxRetainedDeltas = 64
 
 // PolicyRecord is one subject's policy with its content fingerprint.
 type PolicyRecord struct {
@@ -66,6 +85,7 @@ type PolicyRecord struct {
 type DocumentInfo struct {
 	ID             string    `json:"id"`
 	Scheme         string    `json:"scheme"`
+	Version        uint64    `json:"version"`
 	ProtectedBytes int       `json:"protected_bytes"`
 	Elements       int       `json:"elements"`
 	MaxDepth       int       `json:"max_depth"`
@@ -101,6 +121,8 @@ func (s *Store) RegisterXML(id, xmlText, passphrase string, scheme xmlac.Scheme)
 		key:       key,
 		blob:      blob,
 		etag:      `"` + hex.EncodeToString(sum[:]) + `"`,
+		manifest:  prot.Manifest(),
+		version:   prot.Version(),
 		policies:  make(map[string]PolicyRecord),
 	}
 	s.mu.Lock()
@@ -156,11 +178,14 @@ func (s *Store) List() []DocumentInfo {
 func (e *DocumentEntry) Info() DocumentInfo {
 	e.mu.RLock()
 	subjects := len(e.policies)
+	version := e.version
+	size := int(e.manifest.CiphertextLen)
 	e.mu.RUnlock()
 	return DocumentInfo{
 		ID:             e.ID,
 		Scheme:         string(e.Scheme),
-		ProtectedBytes: e.prot.Size(),
+		Version:        version,
+		ProtectedBytes: size,
 		Elements:       e.Stats.Elements,
 		MaxDepth:       e.Stats.MaxDepth,
 		Subjects:       subjects,
@@ -228,15 +253,126 @@ func (e *DocumentEntry) StreamViews(views []xmlac.CompiledView) ([]xmlac.ViewRes
 	return e.prot.AuthorizedViewsCompiled(e.key, views)
 }
 
-// Blob returns the marshalled protected container and its strong ETag. Both
-// are immutable after registration.
-func (e *DocumentEntry) Blob() ([]byte, string) { return e.blob, e.etag }
+// Blob returns the marshalled protected container and its strong ETag, a
+// consistent pair for the entry's current version.
+func (e *DocumentEntry) Blob() ([]byte, string) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.blob, e.etag
+}
 
-// Manifest returns the public layout of the protected document.
-func (e *DocumentEntry) Manifest() xmlac.DocumentManifest { return e.prot.Manifest() }
+// Version returns the document version of the published blob surface.
+func (e *DocumentEntry) Version() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// ErrDeltaUnavailable is returned by DeltaSince when the requested version
+// fell out of the retained update history (or never existed): the client
+// must fall back to a full re-sync.
+var ErrDeltaUnavailable = errors.New("server: update delta unavailable for that version")
+
+// Update applies the edits as the document's next version: chunk-granular
+// re-encryption through xmlac's Update, a fresh blob and entity tag, and the
+// step delta appended to the retained history. Views running concurrently
+// finish on the version they started with.
+func (e *DocumentEntry) Update(edits []xmlac.Edit) (uint64, *xmlac.UpdateDelta, error) {
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	version, delta, err := e.prot.Update(e.key, edits)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Marshal outside e.mu (it copies megabytes), then install blob, etag,
+	// manifest, version and the delta step in one critical section: a reader
+	// of the blob surface never observes the new version's manifest or delta
+	// history paired with the old version's blob, or vice versa.
+	blob := e.prot.Marshal()
+	manifest := e.prot.Manifest()
+	sum := sha256.Sum256(blob)
+	e.mu.Lock()
+	e.blob = blob
+	e.etag = `"` + hex.EncodeToString(sum[:]) + `"`
+	e.manifest = manifest
+	e.version = version
+	e.deltas = append(e.deltas, delta)
+	if len(e.deltas) > maxRetainedDeltas {
+		e.deltas = e.deltas[len(e.deltas)-maxRetainedDeltas:]
+	}
+	e.mu.Unlock()
+	return version, delta, nil
+}
+
+// DeltaSince merges the retained update steps from the given version to the
+// current one: what a remote chunk cache at version from needs to evict only
+// the chunks that changed. It returns ErrDeltaUnavailable when from
+// predates the retained history and (nil, current, nil) when from is already
+// current.
+func (e *DocumentEntry) DeltaSince(from uint64) (*xmlac.UpdateDelta, uint64, error) {
+	// History and current version are read inside one critical section so
+	// the chain check is against the version the history actually leads to.
+	e.mu.RLock()
+	current := e.version
+	steps := make([]*xmlac.UpdateDelta, 0, len(e.deltas))
+	for i, d := range e.deltas {
+		if d.FromVersion == from {
+			steps = append(steps, e.deltas[i:]...)
+			break
+		}
+	}
+	e.mu.RUnlock()
+	if from == current {
+		return nil, current, nil
+	}
+	if from > current || len(steps) == 0 || steps[len(steps)-1].ToVersion != current {
+		return nil, current, ErrDeltaUnavailable
+	}
+	merged, err := xmlac.MergeUpdateDeltas(steps)
+	if err != nil {
+		return nil, current, err
+	}
+	return merged, current, nil
+}
+
+// Manifest returns the public layout of the published blob: always the
+// manifest of the same version Blob() serves.
+func (e *DocumentEntry) Manifest() xmlac.DocumentManifest {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.manifest
+}
 
 // FragmentHashes returns the ciphertext fragment hashes of one chunk (the
-// untrusted-terminal side of the ECB-MHT Merkle protocol).
+// untrusted-terminal side of the ECB-MHT Merkle protocol), computed from the
+// published blob under the same lock that guards it — so the hashes always
+// describe the version whose ETag the handler sends, even while an update is
+// being installed. Hashing public ciphertext is exactly the computation the
+// paper assigns to the untrusted terminal; no key material is involved.
 func (e *DocumentEntry) FragmentHashes(chunk int) ([][]byte, error) {
-	return e.prot.FragmentHashes(chunk)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	man := e.manifest
+	if man.FragmentSize <= 0 {
+		return nil, fmt.Errorf("server: document %q has no fragment layout", e.ID)
+	}
+	if chunk < 0 || chunk >= man.NumChunks {
+		return nil, fmt.Errorf("server: chunk %d out of range (%d chunks)", chunk, man.NumChunks)
+	}
+	start := int64(chunk) * int64(man.ChunkSize)
+	end := start + int64(man.ChunkSize)
+	if end > man.CiphertextLen {
+		end = man.CiphertextLen
+	}
+	data := e.blob[man.CiphertextOffset+start : man.CiphertextOffset+end]
+	out := make([][]byte, 0, (len(data)+man.FragmentSize-1)/man.FragmentSize)
+	for off := 0; off < len(data); off += man.FragmentSize {
+		frag := data[off:]
+		if len(frag) > man.FragmentSize {
+			frag = frag[:man.FragmentSize]
+		}
+		h := sha1.Sum(frag)
+		out = append(out, append([]byte(nil), h[:]...))
+	}
+	return out, nil
 }

@@ -79,7 +79,10 @@ func NewDecoder(src ByteSource) (*Decoder, error) {
 	d := &Decoder{src: src, bytesTotal: src.Size()}
 	header := make([]byte, 4)
 	if err := d.readFull(header, 0); err != nil {
-		return nil, fmt.Errorf("%w: short header", ErrBadFormat)
+		// Keep the cause in the chain: a remote source's "document changed"
+		// error must stay recognizable through errors.Is for the re-sync
+		// retry above this pipeline.
+		return nil, fmt.Errorf("%w: short header: %w", ErrBadFormat, err)
 	}
 	for i := range magic {
 		if header[i] != magic[i] {
@@ -203,7 +206,7 @@ func (d *Decoder) decodeElement() error {
 	buf := make([]byte, maxMetaBytes)
 	n, err := d.src.ReadAt(buf, start)
 	if n < len(buf) && err != nil && err != io.EOF {
-		return fmt.Errorf("%w: reading element meta: %v", ErrBadFormat, err)
+		return fmt.Errorf("%w: reading element meta: %w", ErrBadFormat, err)
 	}
 	buf = buf[:n]
 	r := newBitReader(buf)
@@ -351,7 +354,7 @@ func (d *Decoder) readFull(p []byte, off int64) error {
 	if err == nil {
 		err = io.ErrUnexpectedEOF
 	}
-	return fmt.Errorf("%w: short read at offset %d: %v", ErrBadFormat, off, err)
+	return fmt.Errorf("%w: short read at offset %d: %w", ErrBadFormat, off, err)
 }
 
 // readUvarint reads a varint at *off, advancing it and counting the bytes.

@@ -54,6 +54,20 @@ type Encoded struct {
 	StructureBits int
 	// TextBytes is the number of text bytes stored in the body.
 	TextBytes int
+	// TextSpans maps each element of the source tree to the byte range of
+	// its direct text inside Data (EncodeIndexed only; nil for Encode). A
+	// same-length replacement of an element's concatenated direct text can
+	// be spliced into Data at its span without re-encoding: no subtree size,
+	// field width, tag array or dictionary entry depends on text content —
+	// only on its length. That splice is the in-place update fast path.
+	TextSpans map[*xmlstream.Node]TextSpan
+}
+
+// TextSpan is the byte range [Off, Off+Len) of an element's direct text
+// inside the encoded document.
+type TextSpan struct {
+	Off int
+	Len int
 }
 
 // encNode is the per-element working state of the encoder.
@@ -72,6 +86,17 @@ type encNode struct {
 
 // Encode builds the TCSBR encoding of a document tree.
 func Encode(root *xmlstream.Node) (*Encoded, error) {
+	return encode(root, false)
+}
+
+// EncodeIndexed is Encode plus the per-element text span index (TextSpans)
+// the in-place update fast path needs. The index costs one map entry per
+// element, so the plain Encode skips it.
+func EncodeIndexed(root *xmlstream.Node) (*Encoded, error) {
+	return encode(root, true)
+}
+
+func encode(root *xmlstream.Node, indexed bool) (*Encoded, error) {
 	if root == nil || root.Kind != xmlstream.ElementNode {
 		return nil, fmt.Errorf("%w: document root must be an element", ErrBadFormat)
 	}
@@ -164,6 +189,9 @@ func Encode(root *xmlstream.Node) (*Encoded, error) {
 	bodyOffset := len(data)
 
 	enc := &Encoded{Dictionary: dict, BodyOffset: bodyOffset}
+	if indexed {
+		enc.TextSpans = make(map[*xmlstream.Node]TextSpan)
+	}
 	var emit func(en *encNode, parentDesc []int, parentSize uint64) error
 	emit = func(en *encNode, parentDesc []int, parentSize uint64) error {
 		w := &bitWriter{}
@@ -192,6 +220,9 @@ func Encode(root *xmlstream.Node) (*Encoded, error) {
 		start := len(data)
 		data = append(data, meta...)
 		data = putUvarint(data, uint64(len(en.text)))
+		if indexed {
+			enc.TextSpans[en.node] = TextSpan{Off: len(data), Len: len(en.text)}
+		}
 		data = append(data, en.text...)
 		enc.TextBytes += len(en.text)
 		for _, c := range en.children {

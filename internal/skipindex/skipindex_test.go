@@ -1,6 +1,7 @@
 package skipindex
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -411,4 +412,70 @@ func randomTree(seed int) *xmlstream.Node {
 		return n
 	}
 	return build(1)
+}
+
+// TestEncodeIndexedSpliceEqualsReencode pins the property the in-place
+// update fast path relies on: replacing an element's direct text with a
+// same-length value by splicing Data at its TextSpan produces exactly the
+// bytes a full re-encode of the edited tree produces.
+func TestEncodeIndexedSpliceEqualsReencode(t *testing.T) {
+	root := xmlstream.NewElement("Folder",
+		xmlstream.NewElement("Admin",
+			xmlstream.Elem("Phone", "0123456789"),
+			xmlstream.Elem("Age", "42"),
+		),
+		xmlstream.NewElement("Act",
+			xmlstream.NewText("preamble "),
+			xmlstream.Elem("Id", "ACT0000001"),
+			xmlstream.NewText(" tail"),
+		),
+	)
+	enc, err := EncodeIndexed(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Encode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TextSpans != nil {
+		t.Fatal("plain Encode must not build the span index")
+	}
+	if !bytes.Equal(enc.Data, plain.Data) {
+		t.Fatal("EncodeIndexed must not change the encoding")
+	}
+	// Every element's span must read back its concatenated direct text.
+	root.Walk(func(n *xmlstream.Node) bool {
+		if n.Kind != xmlstream.ElementNode {
+			return true
+		}
+		span, ok := enc.TextSpans[n]
+		if !ok {
+			t.Fatalf("no span for <%s>", n.Name)
+		}
+		if got := string(enc.Data[span.Off : span.Off+span.Len]); got != n.Text() {
+			t.Fatalf("<%s> span reads %q, tree says %q", n.Name, got, n.Text())
+		}
+		return true
+	})
+	// Splice a same-length phone number and compare with re-encoding the
+	// edited tree.
+	phone := root.Children[0].Children[0]
+	span := enc.TextSpans[phone]
+	spliced := append([]byte(nil), enc.Data...)
+	copy(spliced[span.Off:span.Off+span.Len], "9876543210")
+	phone.Children = []*xmlstream.Node{xmlstream.NewText("9876543210")}
+	reenc, err := Encode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spliced, reenc.Data) {
+		t.Fatal("spliced encoding differs from a full re-encode of the edited tree")
+	}
+	// The multi-text element's span covers the concatenation.
+	act := root.Children[1]
+	aspan := enc.TextSpans[act]
+	if string(enc.Data[aspan.Off:aspan.Off+aspan.Len]) != "preamble  tail" {
+		t.Fatalf("concatenated span reads %q", string(enc.Data[aspan.Off:aspan.Off+aspan.Len]))
+	}
 }

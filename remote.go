@@ -1,7 +1,9 @@
 package xmlac
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
@@ -79,6 +81,9 @@ func (d *RemoteDocument) Size() int { return int(d.src.Manifest().CiphertextLen)
 // ETag returns the entity tag of the blob this document is bound to.
 func (d *RemoteDocument) ETag() string { return d.src.ETag() }
 
+// Version returns the document version this client is currently bound to.
+func (d *RemoteDocument) Version() uint64 { return d.src.Manifest().Version }
+
 // WireStats returns the cumulative bytes-on-wire and round-trip counts since
 // the document was opened (the per-view deltas are in Metrics).
 func (d *RemoteDocument) WireStats() (bytesOnWire, roundTrips int64) {
@@ -104,6 +109,12 @@ func (d *RemoteDocument) Revalidate() (changed bool, err error) {
 // range requests, and prohibited subtrees are skipped over the wire. The
 // returned Metrics carry BytesOnWire and RoundTrips for this evaluation on
 // top of the usual SOE cost counters.
+//
+// If the server's document was updated since this client last synchronized,
+// the evaluation re-syncs transparently: the client fetches the update delta
+// for its cached version, evicts only the chunks the delta names (keeping
+// every untouched page resident — Metrics.ChunksReused counts the chunks
+// that survived) and retries once on the new version.
 func (d *RemoteDocument) AuthorizedView(policy Policy, opts ViewOptions) (*Document, *Metrics, error) {
 	compiled, err := policy.Compile()
 	if err != nil {
@@ -118,11 +129,39 @@ func (d *RemoteDocument) AuthorizedViewCompiled(cp *CompiledPolicy, opts ViewOpt
 	defer d.mu.Unlock()
 	before := d.src.Stats()
 	view, metrics, err := authorizedViewOverSource(d.src, d.key, cp, opts)
+	if errors.Is(err, remote.ErrChanged) {
+		// The blob moved under the evaluation: re-sync (delta-aware) and
+		// retry once on the new version. Materialization restarts cleanly.
+		if rerr := d.src.Resync(); rerr != nil {
+			return nil, nil, rerr
+		}
+		view, metrics, err = authorizedViewOverSource(d.src, d.key, cp, opts)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
+	d.stampWireDelta(metrics, before)
+	return view, metrics, nil
+}
+
+// stampWireDelta attributes the wire activity since before to one
+// evaluation's metrics (callers hold d.mu for the whole evaluation).
+func (d *RemoteDocument) stampWireDelta(metrics *Metrics, before remote.WireStats) {
 	after := d.src.Stats()
 	metrics.BytesOnWire = after.BytesOnWire - before.BytesOnWire
 	metrics.RoundTrips = after.RoundTrips - before.RoundTrips
-	return view, metrics, nil
+	metrics.ChunksReused = after.ChunksReused - before.ChunksReused
+}
+
+// countingWriter counts delivered bytes so a mid-stream change can decide
+// whether a retry is still safe (nothing delivered yet).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }

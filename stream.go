@@ -1,11 +1,13 @@
 package xmlac
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"xmlac/internal/core"
+	"xmlac/internal/remote"
 	"xmlac/internal/secure"
 	"xmlac/internal/skipindex"
 	"xmlac/internal/xmlstream"
@@ -40,7 +42,7 @@ func (p *Protected) StreamAuthorizedView(key Key, policy Policy, opts ViewOption
 // StreamAuthorizedViewCompiled is StreamAuthorizedView for a pre-compiled
 // policy: the compile-once / evaluate-many streaming fast path.
 func (p *Protected) StreamAuthorizedViewCompiled(key Key, cp *CompiledPolicy, opts ViewOptions, w io.Writer) (*Metrics, error) {
-	return streamViewOverSource(p.prot, key, cp, opts, w)
+	return streamViewOverSource(p.snapshot(), key, cp, opts, w)
 }
 
 // StreamAuthorizedView evaluates the policy over the remote document and
@@ -58,18 +60,26 @@ func (d *RemoteDocument) StreamAuthorizedView(policy Policy, opts ViewOptions, w
 
 // StreamAuthorizedViewCompiled is StreamAuthorizedView for a pre-compiled
 // policy. The returned Metrics carry the wire counters of this evaluation on
-// top of the usual SOE cost counters.
+// top of the usual SOE cost counters. Like AuthorizedViewCompiled it re-syncs
+// and retries once when the server's document was updated — but only while
+// nothing has been delivered to w yet; after the first byte the change
+// surfaces as an error (a retried stream would duplicate output).
 func (d *RemoteDocument) StreamAuthorizedViewCompiled(cp *CompiledPolicy, opts ViewOptions, w io.Writer) (*Metrics, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	before := d.src.Stats()
-	metrics, err := streamViewOverSource(d.src, d.key, cp, opts, w)
+	cw := &countingWriter{w: w}
+	metrics, err := streamViewOverSource(d.src, d.key, cp, opts, cw)
+	if errors.Is(err, remote.ErrChanged) && cw.n == 0 {
+		if rerr := d.src.Resync(); rerr != nil {
+			return nil, rerr
+		}
+		metrics, err = streamViewOverSource(d.src, d.key, cp, opts, cw)
+	}
 	if err != nil {
 		return nil, err
 	}
-	after := d.src.Stats()
-	metrics.BytesOnWire = after.BytesOnWire - before.BytesOnWire
-	metrics.RoundTrips = after.RoundTrips - before.RoundTrips
+	d.stampWireDelta(metrics, before)
 	return metrics, nil
 }
 

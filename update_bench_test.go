@@ -1,0 +1,61 @@
+package xmlac_test
+
+import (
+	"testing"
+
+	"xmlac"
+	"xmlac/internal/bench"
+)
+
+// BenchmarkUpdate measures versioned in-place updates on the scale-1.0
+// hospital document (~3.6 MB protected) against the pre-update baseline of
+// re-protecting the whole document:
+//
+//   - inplace: a same-length phone-number edit in the middle of the
+//     document — the fast path splices the cached Skip-index encoding and
+//     re-encrypts one or two of ~1500 chunks. Orders of magnitude cheaper
+//     than a re-protect.
+//   - reencode: a length-changing comment rewrite near the end — the
+//     structural path re-encodes the Skip index but still reuses every
+//     chunk before the shift point.
+//   - reprotect: the baseline; apply the edit to the plain tree and protect
+//     everything from scratch.
+//
+// The closures live in internal/bench and also back the BENCH_update.json
+// artifact of `xmlac-bench -json`, so the benchstat gate in CI and the JSON
+// trajectory track the same code. The reenc-frac metric reports the
+// fraction of ciphertext bytes each op re-encrypted.
+func BenchmarkUpdate(b *testing.B) {
+	fx, err := bench.NewHospitalFixture(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inplace", fx.UpdateInPlace())
+	b.Run("reencode", fx.UpdateReencode())
+	b.Run("reprotect", fx.UpdateReprotect())
+}
+
+// TestUpdateReencryptsFraction pins the acceptance bound with a unit test
+// (benchmarks don't gate byte counts): a small in-place edit on a
+// realistically sized document must re-encrypt well under 10% of the bytes
+// a full re-protect touches.
+func TestUpdateReencryptsFraction(t *testing.T) {
+	fx, err := bench.NewHospitalFixture(0.1) // ~80 folders, dozens of chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, delta, err := fx.Prot.Update(fx.Key, []xmlac.Edit{
+		{Op: xmlac.EditSetText, Path: "/Hospital/Folder[40]/Admin/Phone", Text: "5559876543"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := delta.BytesReencrypted + delta.BytesReused
+	if total == 0 {
+		t.Fatal("empty delta accounting")
+	}
+	if frac := float64(delta.BytesReencrypted) / float64(total); frac >= 0.10 {
+		t.Fatalf("small edit re-encrypted %.1f%% of the document (%d of %d bytes), want < 10%%",
+			100*frac, delta.BytesReencrypted, total)
+	}
+}

@@ -94,6 +94,35 @@
 // multicast cost ~2.7x one solo scan where 16 solo scans cost ~16x
 // (BenchmarkSharedScan).
 //
+// # Versioned in-place updates
+//
+// The chunked encryption layout exists so an edit re-encrypts only what it
+// touches. Protected.Update applies subtree edits (Edit: replace, delete,
+// insert, set-text, addressed by a simple location path), re-encrypts only
+// the integrity chunks whose bytes changed, rebuilds only the affected
+// Merkle roots and Skip-index entries, and installs the result as the next
+// document version — monotonic, stamped into the container and the
+// manifest:
+//
+//	version, delta, _ := protected.Update(key, []xmlac.Edit{
+//	    {Op: xmlac.EditSetText, Path: "/Hospital/Folder[7]/Admin/Phone", Text: "5551234567"},
+//	})
+//	fmt.Printf("now v%d, %d of %d chunks re-encrypted\n",
+//	    version, len(delta.DirtyChunks), delta.NumChunks)
+//
+// The contract is differential: views of the updated document are
+// byte-identical, with identical SOE metrics, to views of a from-scratch
+// Protect of the edited tree (Document.ApplyEdits is the reference edit
+// semantics). A same-length text replacement takes an in-place fast path
+// that splices the cached Skip-index encoding without re-encoding — on the
+// scale-1.0 hospital document a field update costs ~3 ms against ~200 ms
+// for a full re-protect (BenchmarkUpdate), re-encrypting under 0.1% of the
+// ciphertext. Updates never tear concurrent evaluations: every view runs on
+// the version it snapshotted at its start, and an edit batch applies
+// atomically. The returned UpdateDelta names the dirty chunks; its
+// marshalled form is what the server's delta endpoint serves to remote
+// caches.
+//
 // # Server
 //
 // The internal/server package and the xmlac-serve command expose this API as
@@ -136,6 +165,13 @@
 // flow; integrity is verified client-side against the decrypted chunk
 // digests, so a tampering server is always detected.
 //
+// The remote cache is version-aware: when the server's document is updated
+// (PATCH), the client re-syncs by fetching the update delta for its cached
+// version and evicting only the chunks the delta names — clean chunks stay
+// resident (Metrics.ChunksReused counts them) instead of the whole cache
+// going cold. An evaluation that trips over the change mid-flight re-syncs
+// and retries transparently.
+//
 // The sub-packages under internal/ implement the building blocks (XPath
 // fragment, access rules automata, streaming evaluator, Skip index,
 // encryption and integrity layer, SOE cost model, dataset generators and the
@@ -148,6 +184,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"xmlac/internal/accessrule"
@@ -347,13 +384,42 @@ func (s Scheme) internal() (secure.Scheme, error) {
 
 // Protected is a compressed, indexed, encrypted and integrity-protected
 // document, ready to be stored on an untrusted server or streamed to
-// clients.
+// clients. A Protected is safe for concurrent use: views snapshot the
+// current version at the start of their scan, and Update swaps in a new
+// version atomically, so every evaluation sees exactly one consistent
+// version no matter how updates interleave with it.
 type Protected struct {
+	// updateMu serializes Update calls; the version chain is linear.
+	updateMu sync.Mutex
+
+	// mu guards the fields below. Views take a read-locked snapshot of prot
+	// once and never touch the publisher-side caches.
+	mu   sync.RWMutex
 	prot *secure.Protected
+	// plain is the Skip-index encoding prot was built from, root the
+	// decoded document tree and spans the per-element text index — the
+	// publisher-side state Update diffs and edits against. All three stay
+	// nil until the first Update materializes them from the ciphertext (one
+	// decrypt + decode, then cached), so read-only documents never pay the
+	// memory for them.
+	plain []byte
+	root  *xmlstream.Node
+	spans map[*xmlstream.Node]skipindex.TextSpan
+}
+
+// snapshot returns the current immutable protected form; evaluations hold it
+// for their whole scan, so a concurrent Update never tears a view.
+func (p *Protected) snapshot() *secure.Protected {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.prot
 }
 
 // Protect compresses the document with the Skip index, encrypts it under the
-// key and protects its integrity according to the scheme.
+// key and protects its integrity according to the scheme. The returned
+// Protected is independent of doc (the first Update derives its edit state
+// from the ciphertext itself), so protecting a document costs no retained
+// memory beyond the ciphertext for read-only workloads.
 func Protect(doc *Document, key Key, scheme Scheme) (*Protected, error) {
 	if doc.IsEmpty() {
 		return nil, errors.New("xmlac: cannot protect an empty document")
@@ -374,7 +440,7 @@ func Protect(doc *Document, key Key, scheme Scheme) (*Protected, error) {
 }
 
 // Marshal serializes the protected document for storage or transmission.
-func (p *Protected) Marshal() []byte { return p.prot.Marshal() }
+func (p *Protected) Marshal() []byte { return p.snapshot().Marshal() }
 
 // UnmarshalProtected parses a serialized protected document.
 func UnmarshalProtected(data []byte) (*Protected, error) {
@@ -386,7 +452,11 @@ func UnmarshalProtected(data []byte) (*Protected, error) {
 }
 
 // Size returns the size in bytes of the encrypted document.
-func (p *Protected) Size() int { return len(p.prot.Ciphertext) }
+func (p *Protected) Size() int { return len(p.snapshot().Ciphertext) }
+
+// Version returns the monotonic document version: 1 after Protect, bumped by
+// every Update, stamped into the marshalled container and the manifest.
+func (p *Protected) Version() uint64 { return p.snapshot().Manifest().Version }
 
 // DocumentManifest describes the public layout of a protected document: what
 // an untrusted blob server knows and publishes to remote SOE clients
@@ -401,12 +471,17 @@ type DocumentManifest struct {
 	NumDigests       int    `json:"num_digests"`
 	CiphertextOffset int64  `json:"ciphertext_offset"`
 	BlobSize         int64  `json:"blob_size"`
+	// Version is the document version this manifest describes; remote SOE
+	// clients use it to request the delta from their cached version after a
+	// change notice.
+	Version uint64 `json:"version"`
 }
 
 // Manifest returns the document's public layout description.
 func (p *Protected) Manifest() DocumentManifest {
-	m := p.prot.Manifest()
-	ctOff := p.prot.CiphertextOffset()
+	prot := p.snapshot()
+	m := prot.Manifest()
+	ctOff := prot.CiphertextOffset()
 	return DocumentManifest{
 		Scheme:           Scheme(m.Scheme.String()).normalize(),
 		ChunkSize:        m.ChunkSize,
@@ -417,6 +492,7 @@ func (p *Protected) Manifest() DocumentManifest {
 		NumDigests:       m.NumDigests,
 		CiphertextOffset: ctOff,
 		BlobSize:         ctOff + m.CiphertextLen,
+		Version:          m.Version,
 	}
 }
 
@@ -430,7 +506,7 @@ func (s Scheme) normalize() Scheme { return Scheme(strings.ToLower(string(s))) }
 // hashes are computed over public ciphertext; clients verify them against
 // the decrypted chunk digest, so a tampering server is always detected.
 func (p *Protected) FragmentHashes(chunk int) ([][]byte, error) {
-	hashes, err := p.prot.FragmentHashes(chunk)
+	hashes, err := p.snapshot().FragmentHashes(chunk)
 	if err != nil {
 		return nil, err
 	}
@@ -484,6 +560,11 @@ type Metrics struct {
 	// RoundTrips is the number of HTTP requests issued during a remote
 	// evaluation; 0 when the evaluation is local.
 	RoundTrips int64
+	// ChunksReused is the number of integrity chunks whose cached pages a
+	// remote client kept across a document update because the update delta
+	// proved them unchanged (instead of flushing the whole chunk cache);
+	// 0 when the evaluation is local or no re-sync happened.
+	ChunksReused int64
 	// TimeToFirstByte is the wall-clock delay between the start of a
 	// streaming evaluation (StreamAuthorizedView and friends) and the first
 	// byte of the view reaching the destination writer; 0 when the view was
@@ -508,6 +589,7 @@ func (m *Metrics) Add(o *Metrics) {
 	m.NodesPending += o.NodesPending
 	m.BytesOnWire += o.BytesOnWire
 	m.RoundTrips += o.RoundTrips
+	m.ChunksReused += o.ChunksReused
 	m.TimeToFirstByte += o.TimeToFirstByte
 	m.EstimatedSmartCardSeconds += o.EstimatedSmartCardSeconds
 }
