@@ -16,9 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"xmlac"
 	"xmlac/internal/bench"
 	"xmlac/internal/experiments"
 	"xmlac/internal/soe"
@@ -32,10 +34,11 @@ func main() {
 	profile := flag.String("profile", "hardware", "cost profile: hardware, software-internet or software-lan")
 	jsonOut := flag.Bool("json", false, "run the wall-clock suites and write BENCH_*.json instead of the paper tables")
 	outDir := flag.String("out", ".", "directory receiving the BENCH_*.json artifacts (-json only)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of one traced streaming view of the fixture to this file (-json only)")
 	flag.Parse()
 
 	if *jsonOut {
-		if err := runJSON(*scale, *outDir); err != nil {
+		if err := runJSON(*scale, *outDir, *traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "xmlac-bench:", err)
 			os.Exit(1)
 		}
@@ -67,11 +70,18 @@ func main() {
 }
 
 // runJSON measures the shared-scan and streaming-view suites on the hospital
-// document at the given scale and writes one JSON artifact per suite.
-func runJSON(scale float64, outDir string) error {
+// document at the given scale and writes one JSON artifact per suite, plus an
+// optional Chrome trace of one instrumented streaming view.
+func runJSON(scale float64, outDir, traceOut string) error {
 	fx, err := bench.NewHospitalFixture(scale)
 	if err != nil {
 		return err
+	}
+	if traceOut != "" {
+		if err := writeTrace(fx, traceOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote", traceOut)
 	}
 	shared, err := bench.SharedScanSuite(fx)
 	if err != nil {
@@ -102,6 +112,26 @@ func runJSON(scale float64, outDir string) error {
 	}
 	fmt.Println("wrote", updatePath)
 	return nil
+}
+
+// writeTrace runs one traced streaming view of the fixture's secretary policy
+// and writes its spans as a Chrome trace loadable in chrome://tracing or
+// Perfetto — the bench job's phase-level profile artifact.
+func writeTrace(fx *bench.Fixture, path string) error {
+	trace := xmlac.NewTrace(0)
+	opts := xmlac.ViewOptions{Trace: trace, TraceID: "bench-streaming-view"}
+	if _, err := fx.Prot.StreamAuthorizedViewCompiled(fx.Key, fx.Secretary, opts, io.Discard); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(cfg experiments.Config, all bool, table, figure int) error {

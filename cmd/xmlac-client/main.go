@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"xmlac"
 )
@@ -40,19 +41,20 @@ func main() {
 	out := flag.String("out", "", "output file (default: stdout)")
 	dummy := flag.Bool("dummy-names", false, "replace denied ancestor names with '_'")
 	wire := flag.Bool("wire", false, "print transfer statistics to stderr")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace (chrome://tracing / Perfetto) of the evaluation to this file")
 	flag.Parse()
 
 	if *url == "" || (*profile == "" && *rulesFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*url, *passphrase, *profile, *rulesFile, *subject, *query, *out, *dummy, *wire); err != nil {
+	if err := run(*url, *passphrase, *profile, *rulesFile, *subject, *query, *out, *traceOut, *dummy, *wire); err != nil {
 		fmt.Fprintln(os.Stderr, "xmlac-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, passphrase, profile, rulesFile, subject, query, out string, dummy, wire bool) error {
+func run(url, passphrase, profile, rulesFile, subject, query, out, traceOut string, dummy, wire bool) error {
 	if passphrase == "" {
 		// The convention xmlac-serve uses for documents registered without
 		// an explicit passphrase (its -demo content in particular).
@@ -88,11 +90,17 @@ func run(url, passphrase, profile, rulesFile, subject, query, out string, dummy,
 		}()
 		dest = tmp
 	}
+	var trace *xmlac.Trace
+	if traceOut != "" {
+		trace = xmlac.NewTrace(0)
+	}
 	buffered := bufio.NewWriter(dest)
 	metrics, err := doc.StreamAuthorizedView(policy, xmlac.ViewOptions{
 		Query:            query,
 		DummyDeniedNames: dummy,
 		Indent:           true,
+		Trace:            trace,
+		TraceID:          subject,
 	}, buffered)
 	if err != nil {
 		return err
@@ -115,6 +123,22 @@ func run(url, passphrase, profile, rulesFile, subject, query, out string, dummy,
 			return err
 		}
 		tmp = nil
+	}
+	if trace != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (phases: decrypt %s, eval %s, fetch %s)\n",
+			traceOut, time.Duration(metrics.PhaseBreakdown.DecryptNs),
+			time.Duration(metrics.PhaseBreakdown.EvalNs), time.Duration(metrics.PhaseBreakdown.FetchNs))
 	}
 	if wire {
 		totalWire, totalRT := doc.WireStats()

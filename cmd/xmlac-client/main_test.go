@@ -33,7 +33,8 @@ func startServer(t *testing.T) string {
 func TestRunProfileAgainstServer(t *testing.T) {
 	docURL := startServer(t)
 	out := filepath.Join(t.TempDir(), "view.xml")
-	if err := run(docURL, "", "doctor:DrA", "", "user", "", out, false, true); err != nil {
+	traceOut := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(docURL, "", "doctor:DrA", "", "user", "", out, traceOut, false, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -47,6 +48,13 @@ func TestRunProfileAgainstServer(t *testing.T) {
 	if strings.Contains(view, "<SSN>") == false {
 		t.Fatalf("doctor view should include admin data: %.300s", view)
 	}
+	trace, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(trace), "[") || !strings.Contains(string(trace), `"phase:`) {
+		t.Fatalf("-trace-out did not produce a Chrome trace with phase spans: %.200s", string(trace))
+	}
 }
 
 // TestRunRulesFile exercises the rules-file path and the query flag.
@@ -57,7 +65,7 @@ func TestRunRulesFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "view.xml")
-	if err := run(docURL, "", "", rules, "sec", "", out, false, false); err != nil {
+	if err := run(docURL, "", "", rules, "sec", "", out, "", false, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -71,7 +79,7 @@ func TestRunRulesFile(t *testing.T) {
 
 // TestRunErrors: bad URL and bad profile fail cleanly.
 func TestRunErrors(t *testing.T) {
-	if err := run("http://127.0.0.1:1/docs/none", "x", "secretary", "", "user", "", "", false, false); err == nil {
+	if err := run("http://127.0.0.1:1/docs/none", "x", "secretary", "", "user", "", "", "", false, false); err == nil {
 		t.Fatal("unreachable server must fail")
 	}
 	if _, err := buildPolicy("astronaut", "", "user"); err == nil {

@@ -22,7 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,22 +42,38 @@ func main() {
 	scheme := flag.String("scheme", string(xmlac.SchemeECBMHT), "default protection scheme (ecb, ecb-mht, cbc-sha, cbc-shac)")
 	demo := flag.Bool("demo", false, "preload the hospital demo document and the paper's three profiles")
 	demoFolders := flag.Int("demo-folders", 100, "folders in the demo hospital document")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceBuffer := flag.Int("trace-buffer", 0, "spans retained for GET /debug/trace (0 selects the default; negative disables tracing)")
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmlac-serve:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	defScheme, err := xmlac.ParseScheme(*scheme)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "parsing scheme", err)
 	}
 	srv := server.New(server.Options{
-		CacheCapacity: *cacheCap,
-		SessionIdle:   *sessionIdle,
-		DefaultScheme: defScheme,
+		CacheCapacity:   *cacheCap,
+		SessionIdle:     *sessionIdle,
+		DefaultScheme:   defScheme,
+		Logger:          logger,
+		EnablePprof:     *pprof,
+		TraceBufferSize: *traceBuffer,
+		DisableTracing:  *traceBuffer < 0,
 	})
 	if *demo {
 		if err := preloadDemo(srv, *demoFolders); err != nil {
-			log.Fatalf("preloading demo content: %v", err)
+			fatal(logger, "preloading demo content", err)
 		}
-		log.Printf("demo document %q loaded (subjects: secretary, DrA..DrH, researcher)", "hospital")
+		logger.Info("demo document loaded", "document", "hospital",
+			"subjects", "secretary, DrA..DrH, researcher", "folders", *demoFolders)
 	}
 
 	httpSrv := &http.Server{
@@ -67,7 +83,7 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("xmlac-serve listening on %s", *addr)
+		logger.Info("xmlac-serve listening", "addr", *addr, "pprof", *pprof)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -76,16 +92,41 @@ func main() {
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal(logger, "serving", err)
 		}
 	case sig := <-stop:
-		log.Printf("received %v, draining", sig)
+		logger.Info("draining on signal", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
+			os.Exit(1)
 		}
+		logger.Info("shutdown complete")
 	}
+}
+
+// buildLogger resolves the -log-level and -log-format flags into a slog
+// logger writing to stderr.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want text or json)", format)
+	}
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "error", err)
+	os.Exit(1)
 }
 
 // preloadDemo registers the paper's hospital document and the three profile

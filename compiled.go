@@ -3,11 +3,13 @@ package xmlac
 import (
 	"io"
 	"sync"
+	"time"
 
 	"xmlac/internal/core"
 	"xmlac/internal/secure"
 	"xmlac/internal/skipindex"
 	"xmlac/internal/soe"
+	itrace "xmlac/internal/trace"
 )
 
 // CompiledPolicy is a policy compiled once to its Access Rules Automata,
@@ -99,13 +101,24 @@ func authorizedViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolic
 	return &Document{root: res.View}, metrics, nil
 }
 
+// traceSetter is implemented by chunk sources that can charge their work to
+// an evaluation's tracing context (internal/remote's Source).
+type traceSetter interface {
+	SetTrace(*itrace.Context)
+}
+
 // runViewPipeline runs the SOE pipeline (secure reader, Skip-index decoder,
 // streaming evaluator) over any chunk source: the in-memory protected
 // document (local evaluation) or a remote blob (OpenRemote), where every
 // ciphertext range the reader pulls is network transfer. The view goes
 // wherever coreOpts.Sink points (Result.View when nil); the per-request
 // machinery comes from the shared pool.
+//
+// When the evaluation fails mid-scan (typically the sink of a disconnected
+// client), the returned Metrics are non-nil and carry the partial counters
+// of the work already performed, so aggregators can still account for it.
 func runViewPipeline(src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOpts core.Options) (*core.Result, *Metrics, error) {
+	start := time.Now()
 	st := evalPool.Get().(*evalState)
 	defer evalPool.Put(st)
 	var err error
@@ -121,6 +134,16 @@ func runViewPipeline(src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOp
 	if err != nil {
 		return nil, nil, err
 	}
+	tr := coreOpts.Trace
+	if tr != nil {
+		st.reader.SetTrace(tr)
+		decoder.SetTrace(tr)
+		if ts, ok := src.(traceSetter); ok {
+			ts.SetTrace(tr)
+			defer ts.SetTrace(nil)
+		}
+		defer st.reader.SetTrace(nil)
+	}
 	if st.eval == nil {
 		st.eval = core.NewCompiledEvaluator(decoder, cp.core, coreOpts)
 	} else {
@@ -128,9 +151,25 @@ func runViewPipeline(src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOp
 	}
 	res, err := st.eval.Run()
 	if err != nil {
-		return nil, nil, err
+		partial := buildMetrics(st.reader.Costs(), decoder.BytesSkipped(),
+			&core.Result{Metrics: st.eval.Metrics()})
+		stampDuration(partial, tr, start, "view:"+cp.subject)
+		return nil, partial, err
 	}
-	return res, buildMetrics(st.reader.Costs(), decoder.BytesSkipped(), res), nil
+	metrics := buildMetrics(st.reader.Costs(), decoder.BytesSkipped(), res)
+	stampDuration(metrics, tr, start, "view:"+cp.subject)
+	return res, metrics, nil
+}
+
+// stampDuration closes the evaluation's tracing context (recording its phase
+// and root spans) and stamps wall time plus phase breakdown on the metrics.
+// Duration is stamped even without tracing; the breakdown needs the timers.
+func stampDuration(m *Metrics, tr *itrace.Context, start time.Time, name string) {
+	m.Duration = time.Since(start)
+	if tr != nil {
+		tr.Finish(name, m.BytesTransferred)
+		m.PhaseBreakdown = breakdownFromPhases(tr.Phases())
+	}
 }
 
 // CompiledView describes one subject's requested view inside a shared scan

@@ -6,6 +6,7 @@ import (
 
 	"xmlac/internal/accessrule"
 	"xmlac/internal/automaton"
+	"xmlac/internal/trace"
 	"xmlac/internal/xmlstream"
 	"xmlac/internal/xpath"
 )
@@ -45,6 +46,10 @@ type Options struct {
 	// predicate in a subtree once one of its instances evaluated to true
 	// (section 3.3, first dynamic optimization; ablation).
 	DisablePredicateShortCircuit bool
+	// Trace, when non-nil, charges automata evaluation (PhaseEval) and view
+	// delivery (PhaseEmit) time to the evaluation's phase timers. Nil keeps
+	// tracing off at the cost of one nil check per event.
+	Trace *trace.Context
 }
 
 // Metrics reports what the evaluator did; the SOE cost model (internal/soe)
@@ -239,7 +244,9 @@ func (e *Evaluator) Run() (*Result, error) {
 // ProcessEvent (the MultiEvaluator dispatching one shared scan to many
 // subjects) call it in place of Run.
 func (e *Evaluator) Finish() (*Result, error) {
+	e.opts.Trace.Begin(trace.PhaseEmit)
 	view, err := e.builder.finalize()
+	e.opts.Trace.End()
 	if err != nil {
 		return nil, err
 	}
@@ -252,6 +259,8 @@ func (e *Evaluator) Finish() (*Result, error) {
 // delivery sink, so a sink error (a disconnected client) surfaces here and
 // aborts the document scan.
 func (e *Evaluator) ProcessEvent(ev xmlstream.Event) error {
+	tr := e.opts.Trace
+	tr.Begin(trace.PhaseEval)
 	e.metrics.Events++
 	var err error
 	switch ev.Kind {
@@ -263,12 +272,16 @@ func (e *Evaluator) ProcessEvent(ev xmlstream.Event) error {
 	case xmlstream.Close:
 		err = e.processClose(ev)
 	default:
-		return fmt.Errorf("core: unknown event kind %v", ev.Kind)
+		err = fmt.Errorf("core: unknown event kind %v", ev.Kind)
 	}
+	tr.End()
 	if err != nil {
 		return err
 	}
-	return e.builder.flush()
+	tr.Begin(trace.PhaseEmit)
+	err = e.builder.flush()
+	tr.End()
+	return err
 }
 
 // Metrics returns a copy of the metrics accumulated so far.

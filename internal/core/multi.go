@@ -247,10 +247,17 @@ func (m *MultiEvaluator) Run() ([]SubjectOutcome, error) {
 	outcomes := make([]SubjectOutcome, len(m.subjects))
 	for i, s := range m.subjects {
 		if s.err != nil {
-			outcomes[i] = SubjectOutcome{Err: s.err}
+			// The subject failed mid-scan (typically a disconnected client's
+			// sink): report the partial evaluation metrics alongside the
+			// error so the work already performed is still accounted for.
+			outcomes[i] = SubjectOutcome{Result: &Result{Metrics: s.eval.Metrics()}, Err: s.err}
 			continue
 		}
 		res, err := s.eval.Finish()
+		if err != nil && res == nil {
+			// A finalize-time sink failure: same partial accounting.
+			res = &Result{Metrics: s.eval.Metrics()}
+		}
 		outcomes[i] = SubjectOutcome{Result: res, Err: err}
 	}
 	return outcomes, nil

@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"xmlac/internal/secure"
+	"xmlac/internal/trace"
 )
 
 // ErrChanged is returned when the server's blob no longer matches the entity
@@ -133,6 +134,20 @@ type Source struct {
 	// decoding), never on the landing fetch after a Skip-index jump — bytes
 	// past a jump target are as likely to be the next skipped subtree.
 	prevLast int64
+
+	// trace, when non-nil, charges wire transfer and resync time to the
+	// current evaluation's phase timers and records fetch spans. Guarded by
+	// mu like every other operation on the source.
+	trace *trace.Context
+}
+
+// SetTrace attaches (or detaches, with nil) the tracing context charged for
+// wire transfers. Callers serialize evaluations on one Source, so attaching
+// a per-evaluation context around each evaluation is race-free.
+func (s *Source) SetTrace(t *trace.Context) {
+	s.mu.Lock()
+	s.trace = t
+	s.mu.Unlock()
 }
 
 // Open connects to a document's blob surface. baseURL is the document URL on
@@ -364,6 +379,8 @@ func (s *Source) CiphertextRange(off, n int64) ([]byte, error) {
 			missing = append(missing, p)
 		}
 	}
+	s.trace.CountPageHits(last - first + 1 - int64(len(missing)))
+	s.trace.CountPageMisses(int64(len(missing)))
 	sequential := first <= s.prevLast+1 && last >= s.prevLast
 	s.prevLast = last
 	fetched := map[int64][]byte{}
@@ -380,10 +397,13 @@ func (s *Source) CiphertextRange(off, n int64) ([]byte, error) {
 			}
 		}
 		var err error
+		fetchStart := s.trace.Now()
+		wireBefore := s.stats.BytesOnWire
 		fetched, err = s.fetchPages(missing)
 		if err != nil {
 			return nil, err
 		}
+		s.trace.Record("remote.fetch", fetchStart, s.stats.BytesOnWire-wireBefore, int64(len(missing)), "")
 		for p, data := range fetched {
 			s.cache.put(p, data)
 		}
@@ -515,6 +535,8 @@ func (s *Source) fetchPages(pages []int64) (map[int64][]byte, error) {
 // pages covered by each part.
 func (s *Source) readMultipart(resp *http.Response, boundary string, out map[int64][]byte) error {
 	defer resp.Body.Close()
+	s.trace.Begin(trace.PhaseFetch)
+	defer s.trace.End()
 	if boundary == "" {
 		return fmt.Errorf("remote: multipart response without boundary")
 	}
@@ -607,6 +629,13 @@ func (s *Source) Resync() error {
 // resyncLocked synchronizes manifest, digest table, fragment hashes and page
 // cache with the server's current version. Callers hold s.mu.
 func (s *Source) resyncLocked() error {
+	s.trace.Begin(trace.PhaseResync)
+	defer s.trace.End()
+	start := s.trace.Now()
+	wireBefore := s.stats.BytesOnWire
+	defer func() {
+		s.trace.Record("remote.resync", start, s.stats.BytesOnWire-wireBefore, 0, "")
+	}()
 	payload, err := s.fetchManifest()
 	if err != nil {
 		return err
@@ -732,7 +761,9 @@ func (s *Source) do(method, url string, body io.Reader) (*http.Response, error) 
 // doReq issues a request, counting the round trip. Callers hold s.mu.
 func (s *Source) doReq(req *http.Request) (*http.Response, error) {
 	s.stats.RoundTrips++
+	s.trace.Begin(trace.PhaseFetch)
 	resp, err := s.client.Do(req)
+	s.trace.End()
 	if err != nil {
 		return nil, fmt.Errorf("remote: %s %s: %w", req.Method, req.URL, err)
 	}
@@ -742,6 +773,8 @@ func (s *Source) doReq(req *http.Request) (*http.Response, error) {
 // readAll drains and closes a response body through the wire counter.
 func (s *Source) readAll(resp *http.Response) ([]byte, error) {
 	defer resp.Body.Close()
+	s.trace.Begin(trace.PhaseFetch)
+	defer s.trace.End()
 	body, err := io.ReadAll(s.countReader(resp.Body))
 	if err != nil {
 		return nil, fmt.Errorf("remote: reading response body: %w", err)

@@ -6,6 +6,8 @@ import (
 	"crypto/sha1"
 	"fmt"
 	"io"
+
+	"xmlac/internal/trace"
 )
 
 // Costs accounts for everything that crosses the SOE boundary or is computed
@@ -91,6 +93,10 @@ type Reader struct {
 	ctCachePos  int
 
 	costs Costs
+
+	// trace, when non-nil, charges decrypt/verify/hash-fetch time to the
+	// evaluation's phase timers. Cleared by Reset; set per evaluation.
+	trace *trace.Context
 }
 
 // ctCacheSize is the number of fragments of ciphertext the SOE retains
@@ -175,6 +181,7 @@ func (r *Reader) Reset(src ChunkSource, key Key) error {
 	r.man = src.Manifest()
 	r.costs = Costs{}
 	r.justFetched = nil
+	r.trace = nil
 	if r.verifiedChunks == nil {
 		r.verifiedChunks = map[int]bool{}
 		r.verifiedFragments = map[int]map[int]bool{}
@@ -203,6 +210,10 @@ func (r *Reader) Reset(src ChunkSource, key Key) error {
 
 // Costs returns the accumulated cost record.
 func (r *Reader) Costs() Costs { return r.costs }
+
+// SetTrace attaches (or detaches, with nil) the tracing context that
+// decrypt, verify and hash-fetch time is charged to.
+func (r *Reader) SetTrace(t *trace.Context) { r.trace = t }
 
 // Size implements skipindex.ByteSource.
 func (r *Reader) Size() int64 { return int64(r.man.PlainLen) }
@@ -265,6 +276,8 @@ func (r *Reader) readBlocks(first, last int64) ([]byte, error) {
 // ECB construction (random access, block granularity). Recently decrypted
 // blocks are served from the SOE-side block cache without re-transfer.
 func (r *Reader) readECB(start, end, firstBlock int64) ([]byte, error) {
+	r.trace.Begin(trace.PhaseDecrypt)
+	defer r.trace.End()
 	out := make([]byte, 0, end-start)
 	for off := start; off < end; off += BlockSize {
 		blockIdx := off / BlockSize
@@ -294,6 +307,8 @@ func (r *Reader) readECB(start, end, firstBlock int64) ([]byte, error) {
 // the terminal provides the hashes of the other fragments, and the SOE
 // recomputes and compares the (decrypted) chunk digest.
 func (r *Reader) verifyMHT(start, end int64) error {
+	r.trace.Begin(trace.PhaseVerify)
+	defer r.trace.End()
 	chunkSize := int64(r.man.ChunkSize)
 	fragSize := int64(r.man.FragmentSize)
 	for chunk := int(start / chunkSize); chunk <= int((end-1)/chunkSize); chunk++ {
@@ -372,7 +387,9 @@ func (r *Reader) verifyMHT(start, end int64) error {
 		// (the flat implementation below exchanges the missing leaves, but
 		// the cost charged is the logarithmic co-path of the paper; the leaf
 		// cache makes later verifications of the same chunk cheaper).
+		r.trace.Begin(trace.PhaseHashFetch)
 		all, err := r.src.FragmentHashes(chunk)
+		r.trace.End()
 		if err != nil {
 			return err
 		}
@@ -448,93 +465,119 @@ func (r *Reader) readCBC(start, end int64, hashPlaintext bool) ([]byte, error) {
 	var out []byte
 	for chunk := int(start / chunkSize); chunk <= int((end-1)/chunkSize); chunk++ {
 		cStart, cEnd := r.man.ChunkBounds(chunk)
-		chunkLen := cEnd - cStart
-		wholeChunkTransferred := false
-		if !r.verifiedChunks[chunk] {
-			r.costs.BytesTransferred += chunkLen
-			wholeChunkTransferred = true
-			digest, err := r.chunkDigest(chunk)
-			if err != nil {
-				return nil, err
-			}
-			var computed [DigestSize]byte
-			if hashPlaintext {
-				plain, err := r.decryptCBCChunk(chunk)
-				if err != nil {
-					return nil, err
-				}
-				r.costs.BytesDecrypted += chunkLen
-				r.costs.BytesHashed += int64(len(plain))
-				computed = sha1.Sum(plain)
-			} else {
-				chunkBytes, err := r.src.CiphertextRange(cStart, chunkLen)
-				if err != nil {
-					return nil, err
-				}
-				r.costs.BytesHashed += chunkLen
-				computed = sha1.Sum(chunkBytes)
-			}
-			if !bytes.Equal(computed[:], digest) {
-				return nil, fmt.Errorf("%w: chunk %d digest mismatch", ErrIntegrity, chunk)
-			}
-			r.verifiedChunks[chunk] = true
-			r.costs.ChunksVerified++
+		wholeChunkTransferred, err := r.verifyCBCChunk(chunk, hashPlaintext)
+		if err != nil {
+			return nil, err
 		}
-		// Serve the requested sub-range of this chunk.
-		lo := start
-		if cStart > lo {
-			lo = cStart
+		out, err = r.serveCBCRange(out, cStart, cEnd, start, end, wholeChunkTransferred)
+		if err != nil {
+			return nil, err
 		}
-		hi := end
-		if cEnd < hi {
-			hi = cEnd
+	}
+	return out, nil
+}
+
+// verifyCBCChunk verifies a chunk on first touch: CBC-SHA hashes the
+// plaintext (whole-chunk decryption required), CBC-SHAC hashes the
+// ciphertext (whole-chunk transfer but partial decryption). It reports
+// whether this call transferred the whole chunk into the SOE (so the serve
+// step does not charge those bytes again).
+func (r *Reader) verifyCBCChunk(chunk int, hashPlaintext bool) (wholeChunkTransferred bool, err error) {
+	if r.verifiedChunks[chunk] {
+		return false, nil
+	}
+	r.trace.Begin(trace.PhaseVerify)
+	defer r.trace.End()
+	cStart, cEnd := r.man.ChunkBounds(chunk)
+	chunkLen := cEnd - cStart
+	r.costs.BytesTransferred += chunkLen
+	digest, err := r.chunkDigest(chunk)
+	if err != nil {
+		return true, err
+	}
+	var computed [DigestSize]byte
+	if hashPlaintext {
+		plain, err := r.decryptCBCChunk(chunk)
+		if err != nil {
+			return true, err
 		}
-		// CBC random access needs the preceding ciphertext block.
-		firstBlock := lo / BlockSize
-		prev := make([]byte, BlockSize)
-		if firstBlock > 0 {
-			pb, err := r.src.CiphertextRange((firstBlock-1)*BlockSize, BlockSize)
-			if err != nil {
-				return nil, err
-			}
-			copy(prev, pb)
-			if !wholeChunkTransferred {
-				r.costs.BytesTransferred += BlockSize
-			}
-		} else {
-			iv := sha1.Sum(append([]byte("xmlac-iv"), r.key...))
-			copy(prev, iv[:BlockSize])
+		r.costs.BytesDecrypted += chunkLen
+		r.costs.BytesHashed += int64(len(plain))
+		computed = sha1.Sum(plain)
+	} else {
+		chunkBytes, err := r.src.CiphertextRange(cStart, chunkLen)
+		if err != nil {
+			return true, err
 		}
-		for off := lo; off < hi; off += BlockSize {
-			blockIdx := off / BlockSize
-			if plain, ok := r.cacheGet(blockIdx); ok {
-				out = append(out, plain...)
-				continue
-			}
-			if !wholeChunkTransferred {
-				// Revisit of an already verified chunk: only the requested
-				// blocks travel to the SOE.
-				r.costs.BytesTransferred += BlockSize
-			}
-			r.costs.BytesDecrypted += BlockSize
-			var prevBlock []byte
-			if off == lo {
-				prevBlock = prev
-			} else {
-				pb, err := r.src.CiphertextRange(off-BlockSize, BlockSize)
-				if err != nil {
-					return nil, err
-				}
-				prevBlock = pb
-			}
-			ct, err := r.src.CiphertextRange(off, BlockSize)
-			if err != nil {
-				return nil, err
-			}
-			plain := decryptCBCRange(r.block, ct, uint64(blockIdx), prevBlock)
-			r.cachePut(blockIdx, plain)
+		r.costs.BytesHashed += chunkLen
+		computed = sha1.Sum(chunkBytes)
+	}
+	if !bytes.Equal(computed[:], digest) {
+		return true, fmt.Errorf("%w: chunk %d digest mismatch", ErrIntegrity, chunk)
+	}
+	r.verifiedChunks[chunk] = true
+	r.costs.ChunksVerified++
+	return true, nil
+}
+
+// serveCBCRange decrypts and appends the blocks of [start, end) that fall in
+// chunk [cStart, cEnd) to out.
+func (r *Reader) serveCBCRange(out []byte, cStart, cEnd, start, end int64, wholeChunkTransferred bool) ([]byte, error) {
+	r.trace.Begin(trace.PhaseDecrypt)
+	defer r.trace.End()
+	lo := start
+	if cStart > lo {
+		lo = cStart
+	}
+	hi := end
+	if cEnd < hi {
+		hi = cEnd
+	}
+	// CBC random access needs the preceding ciphertext block.
+	firstBlock := lo / BlockSize
+	prev := make([]byte, BlockSize)
+	if firstBlock > 0 {
+		pb, err := r.src.CiphertextRange((firstBlock-1)*BlockSize, BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		copy(prev, pb)
+		if !wholeChunkTransferred {
+			r.costs.BytesTransferred += BlockSize
+		}
+	} else {
+		iv := sha1.Sum(append([]byte("xmlac-iv"), r.key...))
+		copy(prev, iv[:BlockSize])
+	}
+	for off := lo; off < hi; off += BlockSize {
+		blockIdx := off / BlockSize
+		if plain, ok := r.cacheGet(blockIdx); ok {
 			out = append(out, plain...)
+			continue
 		}
+		if !wholeChunkTransferred {
+			// Revisit of an already verified chunk: only the requested
+			// blocks travel to the SOE.
+			r.costs.BytesTransferred += BlockSize
+		}
+		r.costs.BytesDecrypted += BlockSize
+		var prevBlock []byte
+		if off == lo {
+			prevBlock = prev
+		} else {
+			pb, err := r.src.CiphertextRange(off-BlockSize, BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			prevBlock = pb
+		}
+		ct, err := r.src.CiphertextRange(off, BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		plain := decryptCBCRange(r.block, ct, uint64(blockIdx), prevBlock)
+		r.cachePut(blockIdx, plain)
+		out = append(out, plain...)
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xmlac"
+	"xmlac/internal/trace"
 )
 
 // Request coalescing: concurrent GET /view requests for the same immutable
@@ -98,6 +99,9 @@ type coalescer struct {
 	window      time.Duration
 	maxSubjects int
 	clock       clock
+	// batchHist, when set, observes the size of every executed batch (the
+	// scrape-facing twin of the per-document JSON buckets).
+	batchHist *trace.Histogram
 
 	mu    sync.Mutex
 	open  map[string]*scanBatch
@@ -198,6 +202,7 @@ func (c *coalescer) finish(key string, b *scanBatch) {
 	st := c.statsLocked(key)
 	n := len(b.reqs)
 	st.buckets[bucketLabel(n)]++
+	c.batchHist.Observe(float64(n))
 	if n >= 2 {
 		st.sharedScans++
 		st.coalescedViews += int64(n)
@@ -249,6 +254,7 @@ func (c *coalescer) recordSolo(docID string) {
 	st.soloScans++
 	st.buckets[bucketLabel(1)]++
 	c.mu.Unlock()
+	c.batchHist.Observe(1)
 }
 
 // serve runs one view request through the coalescing table and returns its
@@ -332,6 +338,18 @@ func amortizeShared(m *xmlac.Metrics, n int, leader bool) *xmlac.Metrics {
 	out.BytesDecrypted = share(m.BytesDecrypted)
 	out.BytesSkipped = share(m.BytesSkipped)
 	out.EstimatedSmartCardSeconds = m.EstimatedSmartCardSeconds / float64(n)
+	// The shared phase timers (decrypt, verify, decode, skip, fetch) describe
+	// the one shared pass and were stamped into every subject's breakdown;
+	// amortize them like the byte counters. EvalNs and EmitNs are genuinely
+	// per-subject and stay whole. Duration stays whole too: it is wall time,
+	// not work, and Metrics.Add sums it like any other field.
+	out.PhaseBreakdown.DecryptNs = share(m.PhaseBreakdown.DecryptNs)
+	out.PhaseBreakdown.VerifyNs = share(m.PhaseBreakdown.VerifyNs)
+	out.PhaseBreakdown.HashFetchNs = share(m.PhaseBreakdown.HashFetchNs)
+	out.PhaseBreakdown.DecodeNs = share(m.PhaseBreakdown.DecodeNs)
+	out.PhaseBreakdown.SkipNs = share(m.PhaseBreakdown.SkipNs)
+	out.PhaseBreakdown.FetchNs = share(m.PhaseBreakdown.FetchNs)
+	out.PhaseBreakdown.ResyncNs = share(m.PhaseBreakdown.ResyncNs)
 	return &out
 }
 

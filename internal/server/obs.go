@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Request-scoped observability: every request gets a trace ID — honored from
+// a well-formed X-Request-Id header or generated — that is echoed in the
+// response, attached to the evaluation's tracing context (so spans in
+// GET /debug/trace correlate with access-log lines) and logged in the
+// structured access line the middleware emits after the handler returns.
+
+// requestIDHeader is the header carrying the request-scoped trace ID, both
+// inbound (honored) and outbound (echoed).
+const requestIDHeader = "X-Request-Id"
+
+type requestIDKey struct{}
+
+// requestID returns the trace ID stored in the request context by the
+// observability middleware ("" outside it, e.g. in direct handler tests).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID generates a 16-hex-digit random trace ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000" // the ID is a correlation aid, not a secret
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts client-supplied IDs that are safe to echo and log:
+// 1-64 characters of [A-Za-z0-9_.-]. Anything else is replaced by a
+// generated ID instead of being reflected into headers and logs.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter captures the response status and body size for the access log
+// while passing streaming writes (and flushes) through.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through to the underlying writer when it can flush, so the
+// streaming view path keeps its mid-stream flushes through the wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observe is the outermost middleware: it counts the request, assigns the
+// trace ID, echoes it, and emits one structured access-log line when the
+// handler returns.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler returned without writing anything
+		}
+		attrs := []any{
+			slog.String("trace_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", time.Since(start)),
+		}
+		if subject := r.URL.Query().Get("subject"); subject != "" {
+			attrs = append(attrs, slog.String("subject", subject))
+		}
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", toAttrs(attrs)...)
+	})
+}
+
+// toAttrs converts the []any built above (all slog.Attr values) for LogAttrs.
+func toAttrs(in []any) []slog.Attr {
+	out := make([]slog.Attr, len(in))
+	for i, a := range in {
+		out[i] = a.(slog.Attr)
+	}
+	return out
+}
+
+// handleDebugTrace serves the last ?n= spans of the server's trace ring as
+// JSONL, newest-last (n <= 0 or absent returns every retained span).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if s.trace == nil {
+		httpError(w, http.StatusNotFound, "tracing is disabled on this server")
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 0 {
+			httpError(w, http.StatusBadRequest, "invalid %q query parameter: %q", "n", raw)
+			return
+		}
+		n = parsed
+	}
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.trace.WriteJSONL(w, n)
+}

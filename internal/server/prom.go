@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"xmlac/internal/trace"
+)
+
+// GET /metrics.prom: the aggregated counters in Prometheus text exposition
+// format (version 0.0.4), hand-rolled — the module stays dependency-free.
+// The JSON surface (GET /metrics) remains the human-facing one; this one is
+// for scrapers.
+
+// Histogram bucket boundaries, chosen once at server construction.
+var (
+	// viewSecondsBounds covers sub-millisecond in-memory views up to
+	// multi-second cold remote scans.
+	viewSecondsBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// viewBytesBounds covers the ciphertext transferred per view.
+	viewBytesBounds = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	// batchSubjectsBounds mirrors the coalescer's JSON batch-size buckets.
+	batchSubjectsBounds = []float64{1, 2, 4, 8, 16}
+)
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promCounter writes one HELP/TYPE/sample triple for a single-sample metric.
+func promCounter(w io.Writer, name, help string, kind string, value string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, kind, name, value)
+}
+
+// promHistogram writes a snapshot in the cumulative-bucket exposition form.
+func promHistogram(w io.Writer, name, help string, snap trace.HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(snap.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+}
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	s.totalsMu.Lock()
+	totals := s.totals
+	s.totalsMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+
+	promCounter(w, "xmlac_uptime_seconds", "Seconds since the server started.", "gauge",
+		promFloat(time.Since(s.started).Seconds()))
+	fmt.Fprintf(w, "# HELP xmlac_build_info Build information as an info-style gauge.\n"+
+		"# TYPE xmlac_build_info gauge\nxmlac_build_info{go_version=%q} 1\n", runtime.Version())
+	promCounter(w, "xmlac_requests_total", "HTTP requests received.", "counter",
+		strconv.FormatInt(s.requests.Load(), 10))
+	promCounter(w, "xmlac_views_served_total", "Authorized views streamed to completion.", "counter",
+		strconv.FormatInt(s.viewsOK.Load(), 10))
+	promCounter(w, "xmlac_view_errors_total", "View requests that failed or aborted.", "counter",
+		strconv.FormatInt(s.viewErrors.Load(), 10))
+	promCounter(w, "xmlac_documents", "Registered documents.", "gauge",
+		strconv.Itoa(s.store.Len()))
+	promCounter(w, "xmlac_sessions", "Live (document, subject) sessions.", "gauge",
+		strconv.Itoa(s.sessions.Len()))
+	promCounter(w, "xmlac_updates_applied_total", "Document updates applied.", "counter",
+		strconv.FormatInt(s.updatesOK.Load(), 10))
+	promCounter(w, "xmlac_update_errors_total", "Document updates rejected.", "counter",
+		strconv.FormatInt(s.updateErrors.Load(), 10))
+	promCounter(w, "xmlac_deltas_served_total", "Update deltas served to remote caches.", "counter",
+		strconv.FormatInt(s.deltasServed.Load(), 10))
+	promCounter(w, "xmlac_policy_cache_hits_total", "Compiled-policy cache hits.", "counter",
+		strconv.FormatInt(hits, 10))
+	promCounter(w, "xmlac_policy_cache_misses_total", "Compiled-policy cache misses.", "counter",
+		strconv.FormatInt(misses, 10))
+	promCounter(w, "xmlac_policy_cache_entries", "Compiled policies currently cached.", "gauge",
+		strconv.Itoa(s.cache.Len()))
+
+	if s.coalesce != nil {
+		var shared, coalesced, solo, late int64
+		for _, st := range s.coalesce.Snapshot() {
+			shared += st.SharedScans
+			coalesced += st.CoalescedViews
+			solo += st.SoloScans
+			late += st.LateFallbacks
+		}
+		promCounter(w, "xmlac_coalesce_shared_scans_total", "Shared scans serving two or more subjects.", "counter",
+			strconv.FormatInt(shared, 10))
+		promCounter(w, "xmlac_coalesce_views_total", "Views served through shared scans.", "counter",
+			strconv.FormatInt(coalesced, 10))
+		promCounter(w, "xmlac_coalesce_solo_scans_total", "Single-subject scans (empty batches and late fallbacks).", "counter",
+			strconv.FormatInt(solo, 10))
+		promCounter(w, "xmlac_coalesce_late_fallbacks_total", "Requests that found a sealed batch scanning and ran solo.", "counter",
+			strconv.FormatInt(late, 10))
+	}
+
+	promCounter(w, "xmlac_bytes_transferred_total", "Ciphertext bytes transferred into evaluations (amortized for shared scans).", "counter",
+		strconv.FormatInt(totals.BytesTransferred, 10))
+	promCounter(w, "xmlac_bytes_decrypted_total", "Bytes decrypted by evaluations (amortized for shared scans).", "counter",
+		strconv.FormatInt(totals.BytesDecrypted, 10))
+	promCounter(w, "xmlac_bytes_skipped_total", "Bytes skipped via the Skip index (amortized for shared scans).", "counter",
+		strconv.FormatInt(totals.BytesSkipped, 10))
+	promCounter(w, "xmlac_nodes_permitted_total", "Nodes delivered into authorized views.", "counter",
+		strconv.FormatInt(totals.NodesPermitted, 10))
+
+	promHistogram(w, "xmlac_view_duration_seconds",
+		"Wall time of one view evaluation (shared scans report the whole scan per subject).",
+		s.viewSeconds.Snapshot())
+	promHistogram(w, "xmlac_view_wire_bytes",
+		"Ciphertext bytes transferred per view (full shared-pass cost, not amortized).",
+		s.viewBytes.Snapshot())
+	promHistogram(w, "xmlac_coalesce_batch_subjects",
+		"Subjects per executed scan batch.", s.batchSubjects.Snapshot())
+}

@@ -7,7 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +19,7 @@ import (
 	"time"
 
 	"xmlac"
+	"xmlac/internal/trace"
 )
 
 // Options tunes a Server.
@@ -45,6 +50,22 @@ type Options struct {
 	// its own scan (the pre-coalescing behaviour).
 	DisableCoalescing bool
 
+	// Logger receives the structured access log (one line per request with
+	// the trace ID) and lifecycle events. nil discards everything — quiet by
+	// default for embedding and tests; cmd/xmlac-serve wires a real handler.
+	Logger *slog.Logger
+	// EnablePprof exposes net/http/pprof under /debug/pprof/. Off by
+	// default: the profiles reveal internals that do not belong on an
+	// unauthenticated surface.
+	EnablePprof bool
+	// TraceBufferSize bounds the span ring behind /debug/trace (<= 0 selects
+	// the xmlac.NewTrace default of a few hundred spans).
+	TraceBufferSize int
+	// DisableTracing turns off the per-request tracing contexts entirely:
+	// views run the untraced fast path, /debug/trace answers 404, and
+	// Metrics.PhaseBreakdown stays zero.
+	DisableTracing bool
+
 	// clock overrides the wall clock for coalescing windows and session
 	// expiry; tests inject a fake to drive time deterministically. nil
 	// selects the real clock.
@@ -63,6 +84,13 @@ type Server struct {
 	coalesce *coalescer // nil when coalescing is disabled
 	opts     Options
 	started  time.Time
+	logger   *slog.Logger
+	trace    *xmlac.Trace // nil when tracing is disabled
+
+	// Scrape-facing latency/size distributions (GET /metrics.prom).
+	viewSeconds   *trace.Histogram
+	viewBytes     *trace.Histogram
+	batchSubjects *trace.Histogram
 
 	requests   atomic.Int64
 	viewsOK    atomic.Int64
@@ -95,18 +123,39 @@ func New(opts Options) *Server {
 	if opts.clock == nil {
 		opts.clock = realClock{}
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
 	s := &Server{
-		store:    NewStore(),
-		cache:    NewPolicyCache(opts.CacheCapacity),
-		sessions: NewSessionManager(opts.SessionIdle, opts.clock),
-		opts:     opts,
-		started:  time.Now(),
+		store:         NewStore(),
+		cache:         NewPolicyCache(opts.CacheCapacity),
+		sessions:      NewSessionManager(opts.SessionIdle, opts.clock),
+		opts:          opts,
+		started:       time.Now(),
+		logger:        logger,
+		viewSeconds:   trace.NewHistogram(viewSecondsBounds...),
+		viewBytes:     trace.NewHistogram(viewBytesBounds...),
+		batchSubjects: trace.NewHistogram(batchSubjectsBounds...),
+	}
+	if !opts.DisableTracing {
+		s.trace = xmlac.NewTrace(opts.TraceBufferSize)
 	}
 	if !opts.DisableCoalescing {
 		s.coalesce = newCoalescer(opts.CoalesceWindow, opts.CoalesceMaxSubjects, opts.clock)
+		s.coalesce.batchHist = s.batchSubjects
 	}
 	return s
 }
+
+// discardHandler is a slog.Handler that drops everything (slog.DiscardHandler
+// arrives in go 1.24; this module targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 
 // Store exposes the document store (used by cmd/xmlac-serve to preload demo
 // content and by tests).
@@ -151,18 +200,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /docs/{id}/hashes", s.handleFragmentHashes)
 	mux.HandleFunc("GET /docs/{id}/delta", s.handleDelta)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
-	return s.countRequests(mux)
-}
-
-func (s *Server) countRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
-		next.ServeHTTP(w, r)
-	})
+	return s.observe(mux)
 }
 
 // httpError writes a JSON error body with the right status.
@@ -495,6 +546,10 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		Query:            q.Get("query"),
 		DummyDeniedNames: q.Get("dummy") == "1" || q.Get("dummy") == "true",
 		Indent:           q.Get("indent") == "1" || q.Get("indent") == "true",
+		// Evaluations record into the server's span ring under the request's
+		// trace ID, so /debug/trace spans correlate with access-log lines.
+		Trace:   s.trace,
+		TraceID: requestID(r.Context()),
 	}
 	if opts.Query != "" {
 		// Reject bad queries with a 400 before compiling the policy.
@@ -547,8 +602,17 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		accounting = metrics
 	}
 	if err != nil {
-		sess.RecordError()
 		s.viewErrors.Add(1)
+		if accounting != nil {
+			// The aborted evaluation still performed work (decryption,
+			// verification, partial delivery): its partial counters fold into
+			// the session and lifetime totals exactly once, alongside the
+			// error count.
+			sess.RecordAborted(accounting)
+			s.addTotals(accounting)
+		} else {
+			sess.RecordError()
+		}
 		if vw.written == 0 {
 			// Nothing was committed yet (reader setup failed, integrity
 			// check rejected the document, client canceled before the first
@@ -577,6 +641,8 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	sess.Record(accounting)
 	s.viewsOK.Add(1)
 	s.addTotals(accounting)
+	s.viewSeconds.Observe(metrics.Duration.Seconds())
+	s.viewBytes.Observe(float64(metrics.BytesTransferred))
 	// An empty authorized view is a legitimate outcome of the closed policy:
 	// the body is empty and the metrics still reach the client.
 }
@@ -648,6 +714,27 @@ func (s *Server) handleFragmentHashes(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// buildInfoSummary condenses runtime/debug.ReadBuildInfo for GET /metrics:
+// module path, main-module version and the VCS stamps go 1.22 embeds.
+func buildInfoSummary() map[string]string {
+	out := map[string]string{}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["path"] = info.Path
+	if info.Main.Version != "" {
+		out["version"] = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified", "GOOS", "GOARCH":
+			out[s.Key] = s.Value
+		}
+	}
+	return out
+}
+
 func (s *Server) addTotals(m *xmlac.Metrics) {
 	s.totalsMu.Lock()
 	s.totals.Add(m)
@@ -668,6 +755,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
+		"go_version":     runtime.Version(),
+		"build":          buildInfoSummary(),
 		"requests":       s.requests.Load(),
 		"views_served":   s.viewsOK.Load(),
 		"view_errors":    s.viewErrors.Load(),

@@ -432,6 +432,10 @@ func TestViewClientDisconnectAbortsEvaluation(t *testing.T) {
 	}
 	errorsBefore := srv.viewErrors.Load()
 	okBefore := srv.viewsOK.Load()
+	srv.totalsMu.Lock()
+	totalsBefore := srv.totals
+	srv.totalsMu.Unlock()
+	sessBefore := srv.sessions.Acquire("hospital", "secretary").Stats()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -453,6 +457,36 @@ func TestViewClientDisconnectAbortsEvaluation(t *testing.T) {
 	}
 	if srv.viewsOK.Load() != okBefore {
 		t.Fatal("aborted stream must not count as a served view")
+	}
+
+	// The aborted evaluation's partial counters fold into the lifetime totals
+	// and the session totals exactly once: the two deltas agree, are nonzero
+	// (work was performed before the disconnect) and smaller than a full view
+	// (the abort stopped the scan).
+	srv.totalsMu.Lock()
+	totalsAfter := srv.totals
+	srv.totalsMu.Unlock()
+	sessAfter := srv.sessions.Acquire("hospital", "secretary").Stats()
+	totalsDelta := totalsAfter.BytesDecrypted - totalsBefore.BytesDecrypted
+	sessDelta := sessAfter.Totals.BytesDecrypted - sessBefore.Totals.BytesDecrypted
+	if totalsDelta <= 0 {
+		t.Fatal("aborted stream's partial work missing from the lifetime totals")
+	}
+	if sessDelta != totalsDelta {
+		t.Fatalf("partial counters folded unevenly: session delta %d, totals delta %d (must fold exactly once into each)",
+			sessDelta, totalsDelta)
+	}
+	// The reference view was the only prior evaluation, so the totals before
+	// the abort are exactly one full view's decryption cost.
+	fullDecrypted := totalsBefore.BytesDecrypted
+	if totalsDelta >= fullDecrypted {
+		t.Fatalf("aborted stream decrypted %d bytes, not less than the full view's %d", totalsDelta, fullDecrypted)
+	}
+	if sessAfter.Errors != sessBefore.Errors+1 {
+		t.Fatalf("session errors %d, want %d", sessAfter.Errors, sessBefore.Errors+1)
+	}
+	if sessAfter.Views != sessBefore.Views {
+		t.Fatal("aborted stream must not count as a session view")
 	}
 }
 

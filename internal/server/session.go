@@ -130,6 +130,17 @@ func (s *Session) RecordError() {
 	s.mu.Unlock()
 }
 
+// RecordAborted counts one failed evaluation that still performed work (a
+// stream cut off by a disconnected client): the error is counted and the
+// partial metrics fold into the session totals, under one lock acquisition so
+// snapshots never see the error without its work or vice versa.
+func (s *Session) RecordAborted(metrics *xmlac.Metrics) {
+	s.mu.Lock()
+	s.errors++
+	s.totals.Add(metrics)
+	s.mu.Unlock()
+}
+
 // Stats returns a snapshot of the session.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()

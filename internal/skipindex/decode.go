@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"xmlac/internal/trace"
 	"xmlac/internal/xmlstream"
 )
 
@@ -70,8 +71,17 @@ type Decoder struct {
 	bytesTotal  int64
 	skippedByte int64
 
+	// trace, when non-nil, charges decode and skip time to the evaluation's
+	// phase timers.
+	trace *trace.Context
+
 	err error
 }
+
+// SetTrace attaches (or detaches, with nil) the tracing context that decode
+// and skip time is charged to. The header parse in NewDecoder runs before
+// any context can be attached and stays unattributed.
+func (d *Decoder) SetTrace(t *trace.Context) { d.trace = t }
 
 // NewDecoder parses the header and returns a Decoder positioned on the root
 // element.
@@ -157,6 +167,8 @@ func (d *Decoder) Next() (xmlstream.Event, error) {
 	if d.err != nil {
 		return xmlstream.Event{}, d.err
 	}
+	d.trace.Begin(trace.PhaseDecode)
+	defer d.trace.End()
 	for {
 		if len(d.pending) > 0 {
 			ev := d.pending[0]
@@ -313,6 +325,8 @@ func (d *Decoder) SkipDistance(depth int) (int64, error) {
 // in between. The Close event of that element is produced by the next call
 // to Next.
 func (d *Decoder) SkipToClose(depth int) (int64, error) {
+	d.trace.Begin(trace.PhaseSkip)
+	defer d.trace.End()
 	// Find the element at that depth in the open stack.
 	var target *openElement
 	idx := -1

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe: bucket
+// counters are atomics and the running sum is folded with a CAS loop over
+// the float64 bit pattern, so hot paths never take a lock. Bucket semantics
+// match Prometheus: an observation v lands in the first bucket whose upper
+// bound satisfies v <= bound, and values above every bound land in the
+// implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which must be
+// finite and strictly increasing. The +Inf bucket is implicit.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("trace: histogram bound %d is not finite", i))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("trace: histogram bounds not strictly increasing at %d", i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Merge folds o into h. Both histograms must share identical bounds.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("trace: merging histograms with %d vs %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("trace: merging histograms with mismatched bound %d (%g vs %g)", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range o.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + math.Float64frombits(o.sum.Load()))
+		if h.sum.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the finite upper bounds; Counts has one extra trailing
+	// entry for the +Inf bucket. Counts are per-bucket (not cumulative).
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot copies the current counters. Concurrent Observes may land between
+// bucket reads; each observation is still counted exactly once overall.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}

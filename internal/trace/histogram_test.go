@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	// Prometheus semantics: v lands in the first bucket with v <= bound.
+	h.Observe(0.5)        // le=1
+	h.Observe(1)          // le=1 (boundary is inclusive)
+	h.Observe(1.1)        // le=10
+	h.Observe(10)         // le=10
+	h.Observe(99)         // le=100
+	h.Observe(100)        // le=100
+	h.Observe(101)        // +Inf
+	h.Observe(math.NaN()) // dropped
+
+	s := h.Snapshot()
+	want := []int64{2, 2, 2, 1}
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], c, s)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.1 + 10 + 99 + 100 + 101; math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+	if len(s.Bounds) != 3 || len(s.Counts) != 4 {
+		t.Fatalf("snapshot shape: %+v", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 2)
+	b := NewHistogram(1, 2)
+	a.Observe(0.5)
+	a.Observe(3)
+	b.Observe(1.5)
+	b.Observe(1.5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	if s.Count != 4 || s.Counts[0] != 1 || s.Counts[1] != 2 || s.Counts[2] != 1 {
+		t.Fatalf("merged snapshot: %+v", s)
+	}
+	if math.Abs(s.Sum-6.5) > 1e-9 {
+		t.Fatalf("merged sum = %g, want 6.5", s.Sum)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil: %v", err)
+	}
+	if err := a.Merge(NewHistogram(1, 3)); err == nil {
+		t.Fatal("merging mismatched bounds should fail")
+	}
+	if err := a.Merge(NewHistogram(1)); err == nil {
+		t.Fatal("merging different bucket counts should fail")
+	}
+}
+
+// TestHistogramConcurrentObserve exercises Observe from many goroutines; run
+// under -race it also proves the lock-free counters are data-race clean.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64((seed*perWorker + i) % 500))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var wantSum float64
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			wantSum += float64((w*perWorker + i) % 500)
+		}
+	}
+	if math.Abs(s.Sum-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{1, 1}, {2, 1}, {math.Inf(1)}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) should panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestNilHistogramObserve(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+}

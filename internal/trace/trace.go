@@ -1,0 +1,401 @@
+// Package trace is the zero-dependency observability core of the SOE
+// engine: a lightweight span recorder shared by every pipeline layer
+// (internal/secure, internal/skipindex, internal/core, internal/remote) and
+// the phase timers behind the public Metrics.PhaseBreakdown.
+//
+// The design splits responsibilities in two:
+//
+//   - Context is the per-evaluation side: a monotonic-clock phase stack
+//     accumulating exclusive nanoseconds per pipeline phase (time spent in a
+//     nested phase is charged to the inner phase only, so the phase sums add
+//     up to the instrumented wall time instead of double-counting), plus
+//     per-evaluation attribute counters (remote page cache hits/misses). A
+//     Context is single-goroutine, like the evaluation it instruments, and
+//     every method is safe on a nil receiver: a disabled pipeline threads a
+//     nil *Context everywhere and pays only the nil checks.
+//
+//   - Recorder is the retention side: a bounded, concurrency-safe ring
+//     buffer of completed spans that many evaluations write into, exported
+//     as JSONL (GET /debug/trace) or as a Chrome-trace JSON array
+//     (chrome://tracing, Perfetto) for offline inspection.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Phase identifies one pipeline phase of an SOE evaluation. The exclusive
+// time a Context charges to each phase is surfaced publicly through
+// xmlac.Metrics.PhaseBreakdown in the same order.
+type Phase int
+
+const (
+	// PhaseDecrypt is ciphertext decryption inside the SOE (internal/secure).
+	PhaseDecrypt Phase = iota
+	// PhaseVerify is integrity verification: chunk digest comparison, Merkle
+	// root recomputation, CBC chunk hashing (internal/secure).
+	PhaseVerify
+	// PhaseHashFetch is the transfer of Merkle fragment hashes from the
+	// untrusted terminal (internal/secure, ECB-MHT scheme).
+	PhaseHashFetch
+	// PhaseDecode is Skip-index decoding: element meta parsing and event
+	// production (internal/skipindex).
+	PhaseDecode
+	// PhaseSkip is the execution of Skip-index subtree jumps
+	// (internal/skipindex).
+	PhaseSkip
+	// PhaseEval is access-rule automata evaluation (internal/core).
+	PhaseEval
+	// PhaseEmit is view delivery: flushing the settled prefix into the sink
+	// or tree builder (internal/core).
+	PhaseEmit
+	// PhaseFetch is remote HTTP transfer: range requests, manifest and hash
+	// fetches over the wire (internal/remote).
+	PhaseFetch
+	// PhaseResync is version re-synchronization after a remote document
+	// update (internal/remote).
+	PhaseResync
+
+	// NumPhases is the number of phases (array sizing).
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"decrypt", "verify", "hash-fetch", "decode", "skip", "eval", "emit", "fetch", "resync",
+}
+
+// String returns the stable lower-case phase name used in span names and
+// exports.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Context carries the tracing state of one evaluation through the pipeline
+// layers. The zero of the API is the nil Context: every method no-ops on a
+// nil receiver, so callers thread the pointer unconditionally and disabled
+// tracing costs one predictable branch per call site.
+//
+// Phase accounting is exclusive: Begin charges the time elapsed since the
+// last transition to the phase currently on top of the stack before pushing
+// the new one, and End charges it to the top before popping. Nested phases
+// (a remote fetch inside an integrity check inside a decode) therefore never
+// double-count, and the per-phase sums equal the instrumented wall time.
+type Context struct {
+	rec     *Recorder
+	id      string
+	started time.Time
+	mark    time.Time
+	stack   []Phase
+	phases  [NumPhases]int64
+
+	pageHits   int64
+	pageMisses int64
+}
+
+// New returns a Context recording into rec (which may be nil: phases are
+// still timed, spans are dropped) under the given trace ID.
+func New(rec *Recorder, id string) *Context {
+	now := time.Now()
+	return &Context{rec: rec, id: id, started: now, mark: now}
+}
+
+// ID returns the trace ID ("" on a nil Context).
+func (c *Context) ID() string {
+	if c == nil {
+		return ""
+	}
+	return c.id
+}
+
+// Begin pushes a phase: time since the last transition is charged to the
+// enclosing phase (if any), and subsequent time accrues to p until the
+// matching End.
+func (c *Context) Begin(p Phase) {
+	if c == nil {
+		return
+	}
+	now := time.Now()
+	if n := len(c.stack); n > 0 {
+		c.phases[c.stack[n-1]] += now.Sub(c.mark).Nanoseconds()
+	}
+	c.stack = append(c.stack, p)
+	c.mark = now
+}
+
+// End pops the current phase, charging it the time since the last
+// transition.
+func (c *Context) End() {
+	if c == nil || len(c.stack) == 0 {
+		return
+	}
+	now := time.Now()
+	n := len(c.stack)
+	c.phases[c.stack[n-1]] += now.Sub(c.mark).Nanoseconds()
+	c.stack = c.stack[:n-1]
+	c.mark = now
+}
+
+// Phases returns the exclusive nanoseconds accumulated per phase so far.
+func (c *Context) Phases() [NumPhases]int64 {
+	if c == nil {
+		return [NumPhases]int64{}
+	}
+	return c.phases
+}
+
+// Now returns the current time for span timing, or the zero time on a nil
+// Context (Record ignores spans with a zero start, so the pattern
+// "start := ctx.Now(); ...; ctx.Record(name, start, ...)" is free when
+// tracing is off).
+func (c *Context) Now() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Record emits one completed span (started at start, ending now) with
+// byte/chunk attributes into the recorder. No-op on a nil Context, a nil
+// recorder or a zero start.
+func (c *Context) Record(name string, start time.Time, bytes, chunks int64, detail string) {
+	if c == nil || c.rec == nil || start.IsZero() {
+		return
+	}
+	c.rec.Record(Span{
+		TraceID: c.id,
+		Name:    name,
+		Start:   start,
+		Dur:     time.Since(start),
+		Bytes:   bytes,
+		Chunks:  chunks,
+		Detail:  detail,
+	})
+}
+
+// CountPageHits / CountPageMisses accumulate remote page-cache outcomes for
+// this evaluation; they surface in the Finish span's detail.
+func (c *Context) CountPageHits(n int64) {
+	if c == nil {
+		return
+	}
+	c.pageHits += n
+}
+
+func (c *Context) CountPageMisses(n int64) {
+	if c == nil {
+		return
+	}
+	c.pageMisses += n
+}
+
+// PageStats returns the accumulated page-cache counters.
+func (c *Context) PageStats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.pageHits, c.pageMisses
+}
+
+// Finish closes the evaluation: one aggregate span per non-zero phase
+// (anchored at the context start, duration = exclusive time — phase spans
+// are totals, not intervals) plus a root span named name covering the whole
+// evaluation are recorded, and the total elapsed time is returned.
+func (c *Context) Finish(name string, bytes int64) time.Duration {
+	if c == nil {
+		return 0
+	}
+	total := time.Since(c.started)
+	if c.rec == nil {
+		return total
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if ns := c.phases[p]; ns > 0 {
+			c.rec.Record(Span{
+				TraceID: c.id,
+				Name:    "phase:" + p.String(),
+				Start:   c.started,
+				Dur:     time.Duration(ns),
+			})
+		}
+	}
+	detail := ""
+	if c.pageHits > 0 || c.pageMisses > 0 {
+		detail = fmt.Sprintf("page_hits=%d page_misses=%d", c.pageHits, c.pageMisses)
+	}
+	c.rec.Record(Span{
+		TraceID: c.id,
+		Name:    name,
+		Start:   c.started,
+		Dur:     total,
+		Bytes:   bytes,
+		Detail:  detail,
+	})
+	return total
+}
+
+// Span is one completed, timed unit of work.
+type Span struct {
+	TraceID string        `json:"trace_id,omitempty"`
+	Name    string        `json:"name"`
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"dur_ns"`
+	Bytes   int64         `json:"bytes,omitempty"`
+	Chunks  int64         `json:"chunks,omitempty"`
+	Detail  string        `json:"detail,omitempty"`
+}
+
+// DefaultRecorderCapacity is the ring size selected by NewRecorder when the
+// requested capacity is not positive.
+const DefaultRecorderCapacity = 512
+
+// Recorder is a bounded ring buffer of spans, safe for concurrent use: many
+// evaluations record into one Recorder and the newest spans win. Memory is
+// bounded by the capacity chosen at construction.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	count int
+	total uint64
+}
+
+// NewRecorder builds a recorder retaining up to capacity spans
+// (DefaultRecorderCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{buf: make([]Span, capacity)}
+}
+
+// Record appends a span, evicting the oldest when the ring is full.
+func (r *Recorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Total returns the number of spans ever recorded (retained or evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Last returns up to n of the most recent spans, oldest first. n <= 0 means
+// all retained spans.
+func (r *Recorder) Last(n int) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.count {
+		n = r.count
+	}
+	out := make([]Span, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// WriteJSONL writes up to n of the most recent spans (oldest first) as one
+// JSON object per line. n <= 0 means all retained spans.
+func (r *Recorder) WriteJSONL(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	for _, s := range r.Last(n) {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace writes every retained span as a Chrome trace-event JSON
+// array (complete "X" events, microsecond timestamps), loadable in
+// chrome://tracing or Perfetto. Phase spans (recorded by Context.Finish) are
+// per-phase totals anchored at the evaluation start, not exact intervals.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	type chromeEvent struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	spans := r.Last(0)
+	events := make([]chromeEvent, 0, len(spans))
+	// Stable per-trace lanes so concurrent evaluations do not interleave in
+	// one row of the viewer.
+	lanes := map[string]int{}
+	for _, s := range spans {
+		lane, ok := lanes[s.TraceID]
+		if !ok {
+			lane = len(lanes) + 1
+			lanes[s.TraceID] = lane
+		}
+		args := map[string]any{}
+		if s.TraceID != "" {
+			args["trace_id"] = s.TraceID
+		}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		if s.Chunks != 0 {
+			args["chunks"] = s.Chunks
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.UnixNano()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  lane,
+			Args: args,
+		})
+	}
+	data, err := json.Marshal(events)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		s := p.String()
+		if s == "" || strings.Contains(s, "(") {
+			t.Fatalf("phase %d has no name: %q", p, s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate phase name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Phase(99).String(); got != "phase(99)" {
+		t.Fatalf("out-of-range phase name = %q", got)
+	}
+}
+
+// TestNilContextSafe pins the contract the whole pipeline relies on when
+// tracing is disabled: every method no-ops on a nil *Context.
+func TestNilContextSafe(t *testing.T) {
+	var c *Context
+	c.Begin(PhaseDecrypt)
+	c.End()
+	c.CountPageHits(3)
+	c.CountPageMisses(4)
+	if h, m := c.PageStats(); h != 0 || m != 0 {
+		t.Fatalf("nil PageStats = %d,%d", h, m)
+	}
+	if !c.Now().IsZero() {
+		t.Fatal("nil Now should be zero")
+	}
+	c.Record("x", time.Now(), 1, 2, "")
+	if c.Finish("x", 0) != 0 {
+		t.Fatal("nil Finish should return 0")
+	}
+	if c.Phases() != ([NumPhases]int64{}) {
+		t.Fatal("nil Phases should be zero")
+	}
+	if c.ID() != "" {
+		t.Fatal("nil ID should be empty")
+	}
+}
+
+// TestExclusivePhaseAccounting checks the core invariant behind the
+// PhaseBreakdown acceptance bound: nested phases never double-count, and
+// the per-phase exclusive times sum to the instrumented wall time.
+func TestExclusivePhaseAccounting(t *testing.T) {
+	c := New(nil, "t")
+	start := time.Now()
+	c.Begin(PhaseDecode)
+	time.Sleep(2 * time.Millisecond)
+	c.Begin(PhaseDecrypt) // nested: decode pauses
+	time.Sleep(2 * time.Millisecond)
+	c.Begin(PhaseFetch) // doubly nested
+	time.Sleep(2 * time.Millisecond)
+	c.End()
+	c.End()
+	time.Sleep(2 * time.Millisecond)
+	c.End()
+	elapsed := time.Since(start)
+
+	ph := c.Phases()
+	for _, p := range []Phase{PhaseDecode, PhaseDecrypt, PhaseFetch} {
+		if ph[p] <= 0 {
+			t.Fatalf("phase %v got no time: %v", p, ph)
+		}
+	}
+	var sum int64
+	for _, ns := range ph {
+		sum += ns
+	}
+	if sum > elapsed.Nanoseconds() {
+		t.Fatalf("phase sum %d exceeds elapsed %d: double counting", sum, elapsed.Nanoseconds())
+	}
+	// Everything between the first Begin and the last End was inside some
+	// phase, so the sum must cover the bulk of the elapsed window.
+	if sum < elapsed.Nanoseconds()/2 {
+		t.Fatalf("phase sum %d under half of elapsed %d: time lost", sum, elapsed.Nanoseconds())
+	}
+	// Decode's exclusive time excludes the nested decrypt+fetch window.
+	if ph[PhaseDecode] >= elapsed.Nanoseconds() {
+		t.Fatalf("decode time %d not exclusive of nested phases (elapsed %d)", ph[PhaseDecode], elapsed)
+	}
+}
+
+func TestUnbalancedEndIsIgnored(t *testing.T) {
+	c := New(nil, "t")
+	c.End() // no matching Begin: must not panic or corrupt state
+	c.Begin(PhaseEval)
+	c.End()
+	c.End()
+	if c.Phases()[PhaseEval] < 0 {
+		t.Fatal("negative phase time")
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Span{Name: string(rune('a' + i)), Start: time.Now()})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	last := r.Last(2)
+	if len(last) != 2 || last[0].Name != "i" || last[1].Name != "j" {
+		t.Fatalf("Last(2) = %+v, want [i j]", last)
+	}
+	all := r.Last(0)
+	if len(all) != 4 || all[0].Name != "g" || all[3].Name != "j" {
+		t.Fatalf("Last(0) = %+v, want [g h i j]", all)
+	}
+	if got := r.Last(99); len(got) != 4 {
+		t.Fatalf("Last(99) returned %d spans", len(got))
+	}
+}
+
+func TestContextFinishRecordsSpans(t *testing.T) {
+	rec := NewRecorder(16)
+	c := New(rec, "req-1")
+	c.Begin(PhaseEval)
+	time.Sleep(time.Millisecond)
+	c.End()
+	c.CountPageHits(5)
+	c.CountPageMisses(2)
+	start := c.Now()
+	time.Sleep(time.Millisecond)
+	c.Record("remote.fetch", start, 1234, 3, "pages=3")
+	total := c.Finish("view:doctor", 4096)
+	if total <= 0 {
+		t.Fatal("Finish returned non-positive total")
+	}
+	spans := rec.Last(0)
+	var names []string
+	for _, s := range spans {
+		names = append(names, s.Name)
+		if s.TraceID != "req-1" {
+			t.Fatalf("span %q has trace ID %q", s.Name, s.TraceID)
+		}
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"remote.fetch", "phase:eval", "view:doctor"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
+	}
+	root := spans[len(spans)-1]
+	if root.Name != "view:doctor" || root.Bytes != 4096 {
+		t.Fatalf("root span = %+v", root)
+	}
+	if !strings.Contains(root.Detail, "page_hits=5") || !strings.Contains(root.Detail, "page_misses=2") {
+		t.Fatalf("root detail = %q", root.Detail)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.Record(Span{TraceID: "a", Name: "one", Start: time.Now(), Dur: time.Millisecond, Bytes: 7})
+	rec.Record(Span{TraceID: "b", Name: "two", Start: time.Now(), Dur: 2 * time.Millisecond})
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var s Span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if s.Name == "" {
+			t.Fatalf("span without name: %q", line)
+		}
+	}
+	buf.Reset()
+	if err := rec.WriteJSONL(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"two"`) || strings.Contains(buf.String(), `"one"`) {
+		t.Fatalf("WriteJSONL(1) = %q, want only newest span", buf.String())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.Record(Span{TraceID: "a", Name: "one", Start: time.Now(), Dur: time.Millisecond, Bytes: 9, Detail: "d"})
+	rec.Record(Span{TraceID: "b", Name: "two", Start: time.Now(), Dur: time.Millisecond})
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	lanes := map[float64]bool{}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("event ph = %v, want X", ev["ph"])
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event ts missing: %v", ev)
+		}
+		lanes[ev["tid"].(float64)] = true
+	}
+	if len(lanes) != 2 {
+		t.Fatalf("distinct traces should land on distinct lanes, got %v", lanes)
+	}
+}
+
+func TestRecorderDefaultsAndNil(t *testing.T) {
+	r := NewRecorder(0)
+	if len(r.buf) != DefaultRecorderCapacity {
+		t.Fatalf("default capacity = %d", len(r.buf))
+	}
+	var nilRec *Recorder
+	nilRec.Record(Span{Name: "x"})
+	if nilRec.Len() != 0 || nilRec.Total() != 0 || nilRec.Last(3) != nil {
+		t.Fatal("nil recorder should be inert")
+	}
+}

@@ -9,24 +9,53 @@ import (
 // every field of Metrics: a counter added to the struct without extending
 // Add (as BytesOnWire once was in the remote-SOE work) would be silently
 // dropped by every aggregator (server sessions, lifetime totals). The test
-// stamps each field with a distinct non-zero value and checks that adding
-// onto a zero value reproduces it, and that adding twice doubles it.
+// stamps each field — recursing into nested structs like PhaseBreakdown —
+// with a distinct non-zero value and checks that adding onto a zero value
+// reproduces it, and that adding twice doubles it.
 func TestMetricsAddFoldsEveryField(t *testing.T) {
-	var src Metrics
-	v := reflect.ValueOf(&src).Elem()
-	tp := v.Type()
-	for i := 0; i < v.NumField(); i++ {
-		f := v.Field(i)
-		switch f.Kind() {
-		case reflect.Int64: // int64 counters and time.Duration
-			f.SetInt(int64(100 + i))
-		case reflect.Float64:
-			f.SetFloat(float64(i) + 0.5)
-		default:
-			t.Fatalf("Metrics.%s has kind %s: teach this test (and Metrics.Add) how to fold it",
-				tp.Field(i).Name, f.Kind())
+	counter := 0
+	var stamp func(v reflect.Value, path string)
+	stamp = func(v reflect.Value, path string) {
+		tp := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			name := path + tp.Field(i).Name
+			counter++
+			switch f.Kind() {
+			case reflect.Int64: // int64 counters and time.Duration
+				f.SetInt(int64(100 + counter))
+			case reflect.Float64:
+				f.SetFloat(float64(counter) + 0.5)
+			case reflect.Struct:
+				stamp(f, name+".")
+			default:
+				t.Fatalf("Metrics.%s has kind %s: teach this test (and Metrics.Add) how to fold it",
+					name, f.Kind())
+			}
 		}
 	}
+	var checkDoubled func(got, want reflect.Value, path string)
+	checkDoubled = func(got, want reflect.Value, path string) {
+		tp := got.Type()
+		for i := 0; i < got.NumField(); i++ {
+			name := path + tp.Field(i).Name
+			switch f := got.Field(i); f.Kind() {
+			case reflect.Int64:
+				if w := 2 * want.Field(i).Int(); f.Int() != w {
+					t.Errorf("Metrics.Add drops or mis-folds %s: got %d, want %d", name, f.Int(), w)
+				}
+			case reflect.Float64:
+				if w := 2 * want.Field(i).Float(); f.Float() != w {
+					t.Errorf("Metrics.Add drops or mis-folds %s: got %g, want %g", name, f.Float(), w)
+				}
+			case reflect.Struct:
+				checkDoubled(f, want.Field(i), name+".")
+			}
+		}
+	}
+
+	var src Metrics
+	stamp(reflect.ValueOf(&src).Elem(), "")
 
 	var acc Metrics
 	acc.Add(&src)
@@ -34,18 +63,5 @@ func TestMetricsAddFoldsEveryField(t *testing.T) {
 		t.Fatalf("Add onto a zero Metrics must reproduce the source:\ngot  %+v\nwant %+v", acc, src)
 	}
 	acc.Add(&src)
-	av := reflect.ValueOf(acc)
-	for i := 0; i < av.NumField(); i++ {
-		name := tp.Field(i).Name
-		switch f := av.Field(i); f.Kind() {
-		case reflect.Int64:
-			if want := 2 * v.Field(i).Int(); f.Int() != want {
-				t.Errorf("Metrics.Add drops or mis-folds %s: got %d, want %d", name, f.Int(), want)
-			}
-		case reflect.Float64:
-			if want := 2 * v.Field(i).Float(); f.Float() != want {
-				t.Errorf("Metrics.Add drops or mis-folds %s: got %g, want %g", name, f.Float(), want)
-			}
-		}
-	}
+	checkDoubled(reflect.ValueOf(acc), reflect.ValueOf(src), "")
 }

@@ -28,6 +28,7 @@ func scrubSharedCosts(m *xmlac.Metrics) xmlac.Metrics {
 	out.BytesSkipped = 0
 	out.EstimatedSmartCardSeconds = 0
 	out.TimeToFirstByte = 0
+	out.Duration = 0
 	return out
 }
 

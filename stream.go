@@ -10,6 +10,7 @@ import (
 	"xmlac/internal/remote"
 	"xmlac/internal/secure"
 	"xmlac/internal/skipindex"
+	itrace "xmlac/internal/trace"
 	"xmlac/internal/xmlstream"
 )
 
@@ -76,11 +77,13 @@ func (d *RemoteDocument) StreamAuthorizedViewCompiled(cp *CompiledPolicy, opts V
 		}
 		metrics, err = streamViewOverSource(d.src, d.key, cp, opts, cw)
 	}
-	if err != nil {
-		return nil, err
+	// An aborted stream still reports the partial counters (wire delta
+	// included) alongside its error, so the work performed can be accounted
+	// for exactly once by aggregators.
+	if metrics != nil {
+		d.stampWireDelta(metrics, before)
 	}
-	d.stampWireDelta(metrics, before)
-	return metrics, nil
+	return metrics, err
 }
 
 // streamViewOverSource runs the shared SOE pipeline with a serializer sink
@@ -93,11 +96,10 @@ func streamViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolicy, o
 	fw := &firstByteWriter{w: w, start: time.Now()}
 	coreOpts.Sink = xmlstream.NewViewSerializer(fw, opts.Indent)
 	_, metrics, err := runViewPipeline(src, key, cp, coreOpts)
-	if err != nil {
-		return nil, err
+	if metrics != nil {
+		metrics.TimeToFirstByte = fw.ttfb
 	}
-	metrics.TimeToFirstByte = fw.ttfb
-	return metrics, nil
+	return metrics, err
 }
 
 // runMultiViewPipeline runs the shared-scan multicast pipeline: one secure
@@ -125,7 +127,13 @@ func runMultiViewPipeline(src secure.ChunkSource, key Key, views []CompiledView)
 	}
 	multi := core.NewMultiEvaluator(decoder)
 	writers := make([]*firstByteWriter, len(views))
+	ctxs := make([]*itrace.Context, len(views))
 	start := time.Now()
+	// The shared machinery (reader, decoder, physical skips, wire transfer)
+	// reports into one context, owned by the first traced subject's Trace:
+	// its phases are shared costs, stamped into every traced subject's
+	// breakdown like the shared byte counters are.
+	var shared *itrace.Context
 	for i := range views {
 		if views[i].Policy == nil {
 			return nil, fmt.Errorf("xmlac: view %d: nil CompiledPolicy", i)
@@ -134,6 +142,10 @@ func runMultiViewPipeline(src secure.ChunkSource, key Key, views []CompiledView)
 		if err != nil {
 			return nil, fmt.Errorf("xmlac: view %d: %w", i, err)
 		}
+		ctxs[i] = coreOpts.Trace
+		if shared == nil && views[i].Options.Trace != nil {
+			shared = views[i].Options.Trace.context(views[i].Options.TraceID)
+		}
 		if views[i].Output != nil {
 			fw := &firstByteWriter{w: views[i].Output, start: start}
 			writers[i] = fw
@@ -141,24 +153,48 @@ func runMultiViewPipeline(src secure.ChunkSource, key Key, views []CompiledView)
 		}
 		multi.AddSubject(st.evaluator(i), views[i].Policy.core, coreOpts)
 	}
+	if shared != nil {
+		st.reader.SetTrace(shared)
+		decoder.SetTrace(shared)
+		if ts, ok := src.(traceSetter); ok {
+			ts.SetTrace(shared)
+			defer ts.SetTrace(nil)
+		}
+		defer st.reader.SetTrace(nil)
+	}
 	outcomes, err := multi.Run()
 	if err != nil {
 		return nil, err
 	}
 	costs := st.reader.Costs()
 	physSkipped := decoder.BytesSkipped()
+	scanDur := time.Since(start)
+	var sharedPhases PhaseBreakdown
+	if shared != nil {
+		shared.Finish("shared-scan", costs.BytesTransferred)
+		sharedPhases = breakdownFromPhases(shared.Phases())
+	}
 	results := make([]ViewResult, len(views))
 	for i, out := range outcomes {
-		if out.Err != nil {
+		if out.Result == nil {
 			results[i] = ViewResult{Err: out.Err}
 			continue
 		}
+		// out.Result with a non-nil out.Err carries the partial counters of
+		// a subject that failed mid-scan (its sink disconnected): report
+		// them alongside the error so the work is still accounted for.
 		metrics := buildMetrics(costs, physSkipped, out.Result)
 		if writers[i] != nil {
 			metrics.TimeToFirstByte = writers[i].ttfb
 		}
-		vr := ViewResult{Metrics: metrics}
-		if views[i].Output == nil {
+		metrics.Duration = scanDur
+		if ctxs[i] != nil {
+			ctxs[i].Finish("view:"+views[i].Policy.subject, costs.BytesTransferred)
+			metrics.PhaseBreakdown = breakdownFromPhases(ctxs[i].Phases())
+			metrics.PhaseBreakdown.Add(&sharedPhases)
+		}
+		vr := ViewResult{Metrics: metrics, Err: out.Err}
+		if views[i].Output == nil && out.Err == nil {
 			vr.View = &Document{root: out.Result.View}
 		}
 		results[i] = vr

@@ -1,0 +1,135 @@
+package xmlac
+
+import (
+	"io"
+	"time"
+
+	itrace "xmlac/internal/trace"
+)
+
+// Trace is a bounded recorder of evaluation spans. One Trace is attached to
+// any number of evaluations via ViewOptions.Trace (it is safe for concurrent
+// use — a server keeps one per process); each traced evaluation records its
+// phase aggregates and remote-fetch spans into the ring, newest spans
+// evicting the oldest. Attaching a Trace also turns on the per-phase timers
+// that fill Metrics.PhaseBreakdown.
+type Trace struct {
+	rec *itrace.Recorder
+}
+
+// NewTrace builds a Trace retaining up to capacity spans (capacity <= 0
+// selects an internal default of a few hundred).
+func NewTrace(capacity int) *Trace {
+	return &Trace{rec: itrace.NewRecorder(capacity)}
+}
+
+// Len returns the number of spans currently retained.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.rec.Len()
+}
+
+// Total returns the number of spans ever recorded (retained or evicted).
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.rec.Total()
+}
+
+// WriteJSONL writes up to n of the most recent spans, oldest first, as one
+// JSON object per line (n <= 0 writes every retained span).
+func (t *Trace) WriteJSONL(w io.Writer, n int) error {
+	if t == nil {
+		return nil
+	}
+	return t.rec.WriteJSONL(w, n)
+}
+
+// WriteChromeTrace writes every retained span as a Chrome trace-event JSON
+// array loadable in chrome://tracing or Perfetto. Phase spans are per-phase
+// exclusive-time totals anchored at the evaluation start, not exact
+// intervals; remote-fetch and resync spans carry real timestamps.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return t.rec.WriteChromeTrace(w)
+}
+
+// context builds the per-evaluation tracing context recording into this
+// Trace under the given request-scoped ID.
+func (t *Trace) context(id string) *itrace.Context {
+	if t == nil {
+		return nil
+	}
+	return itrace.New(t.rec, id)
+}
+
+// PhaseBreakdown is the per-phase decomposition of one evaluation's wall
+// time, in exclusive nanoseconds: time spent in a nested phase (a remote
+// fetch issued while decrypting, a decrypt issued while decoding) is charged
+// to the innermost phase only, so the phase sum tracks Metrics.Duration
+// instead of double-counting. It is populated only when ViewOptions.Trace is
+// set; Metrics.Add folds it field by field like every other counter.
+type PhaseBreakdown struct {
+	// DecryptNs is ciphertext decryption inside the SOE.
+	DecryptNs int64
+	// VerifyNs is integrity verification (digest comparison, Merkle root
+	// recomputation, CBC chunk hashing).
+	VerifyNs int64
+	// HashFetchNs is the transfer of Merkle fragment hashes from the
+	// untrusted terminal (ECB-MHT).
+	HashFetchNs int64
+	// DecodeNs is Skip-index decoding (element meta parsing, event
+	// production).
+	DecodeNs int64
+	// SkipNs is the execution of Skip-index subtree jumps.
+	SkipNs int64
+	// EvalNs is access-rule automata evaluation.
+	EvalNs int64
+	// EmitNs is view delivery (serialization or tree building).
+	EmitNs int64
+	// FetchNs is remote HTTP transfer (range requests, manifest and hash
+	// fetches); 0 for local evaluations.
+	FetchNs int64
+	// ResyncNs is version re-synchronization after a remote update; 0 when
+	// no re-sync happened.
+	ResyncNs int64
+}
+
+// Add folds another breakdown into this one (used by Metrics.Add).
+func (b *PhaseBreakdown) Add(o *PhaseBreakdown) {
+	b.DecryptNs += o.DecryptNs
+	b.VerifyNs += o.VerifyNs
+	b.HashFetchNs += o.HashFetchNs
+	b.DecodeNs += o.DecodeNs
+	b.SkipNs += o.SkipNs
+	b.EvalNs += o.EvalNs
+	b.EmitNs += o.EmitNs
+	b.FetchNs += o.FetchNs
+	b.ResyncNs += o.ResyncNs
+}
+
+// Sum returns the total time attributed to any phase.
+func (b PhaseBreakdown) Sum() time.Duration {
+	return time.Duration(b.DecryptNs + b.VerifyNs + b.HashFetchNs + b.DecodeNs +
+		b.SkipNs + b.EvalNs + b.EmitNs + b.FetchNs + b.ResyncNs)
+}
+
+// breakdownFromPhases converts the internal per-phase array.
+func breakdownFromPhases(ph [itrace.NumPhases]int64) PhaseBreakdown {
+	return PhaseBreakdown{
+		DecryptNs:   ph[itrace.PhaseDecrypt],
+		VerifyNs:    ph[itrace.PhaseVerify],
+		HashFetchNs: ph[itrace.PhaseHashFetch],
+		DecodeNs:    ph[itrace.PhaseDecode],
+		SkipNs:      ph[itrace.PhaseSkip],
+		EvalNs:      ph[itrace.PhaseEval],
+		EmitNs:      ph[itrace.PhaseEmit],
+		FetchNs:     ph[itrace.PhaseFetch],
+		ResyncNs:    ph[itrace.PhaseResync],
+	}
+}

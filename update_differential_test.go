@@ -115,6 +115,7 @@ func zeroWire(m xmlac.Metrics) xmlac.Metrics {
 	m.RoundTrips = 0
 	m.ChunksReused = 0
 	m.TimeToFirstByte = 0
+	m.Duration = 0
 	return m
 }
 

@@ -172,6 +172,30 @@
 // going cold. An evaluation that trips over the change mid-flight re-syncs
 // and retries transparently.
 //
+// # Observability
+//
+// Every evaluation can be traced: attach a Trace (a bounded, concurrency-safe
+// span ring) through ViewOptions.Trace, and the pipeline's layers charge
+// their time to per-phase monotonic timers that surface as
+// Metrics.PhaseBreakdown — exclusive nanoseconds for decrypt, integrity
+// verification, Merkle hash fetch, Skip-index decode, subtree skips,
+// automata evaluation, view delivery, remote wire transfer and re-sync:
+//
+//	tr := xmlac.NewTrace(512)
+//	metrics, _ := protected.StreamAuthorizedViewCompiled(key, cp,
+//	    xmlac.ViewOptions{Trace: tr, TraceID: "req-42"}, w)
+//	fmt.Printf("eval %s of %s total\n",
+//	    time.Duration(metrics.PhaseBreakdown.EvalNs), metrics.Duration)
+//	tr.WriteChromeTrace(f) // open in chrome://tracing or Perfetto
+//
+// Phase accounting is exclusive (nested phases never double-count), so the
+// breakdown's sum tracks Metrics.Duration. Traced and untraced runs produce
+// byte-identical views and identical counters; with Trace nil the timers
+// are fully disabled. The server exposes the same machinery over HTTP:
+// request-scoped trace IDs (X-Request-Id), a Prometheus text endpoint
+// (GET /metrics.prom), recent spans as JSONL (GET /debug/trace) and opt-in
+// pprof handlers.
+//
 // The sub-packages under internal/ implement the building blocks (XPath
 // fragment, access rules automata, streaming evaluator, Skip index,
 // encryption and integrity layer, SOE cost model, dataset generators and the
@@ -533,6 +557,16 @@ type ViewOptions struct {
 	// points only: StreamAuthorizedView and friends; the materialized API
 	// picks the form at serialization time via XML / IndentedXML).
 	Indent bool
+	// Trace, when non-nil, turns on pipeline tracing for this evaluation:
+	// per-phase timers fill Metrics.PhaseBreakdown and spans (phase
+	// aggregates, remote fetches, re-syncs) are recorded into the Trace's
+	// bounded ring. The view bytes and every other Metrics field are
+	// identical to an untraced run; leaving Trace nil keeps the fast path
+	// free of timer reads.
+	Trace *Trace
+	// TraceID labels the spans of this evaluation in the Trace (a server
+	// puts its request-scoped X-Request-Id here). Ignored when Trace is nil.
+	TraceID string
 }
 
 // Metrics summarizes what an evaluation did. Byte counts refer to the
@@ -572,6 +606,16 @@ type Metrics struct {
 	// sum it like every other counter; divide by the number of folded
 	// evaluations for an average.
 	TimeToFirstByte time.Duration
+	// Duration is the wall-clock time of the evaluation pipeline (shared
+	// scans report the whole scan's duration for every subject, consistent
+	// with the shared-cost byte counters). Like TimeToFirstByte it sums
+	// under Metrics.Add.
+	Duration time.Duration
+	// PhaseBreakdown decomposes Duration into exclusive per-phase time. It
+	// is populated only when the evaluation ran with ViewOptions.Trace set;
+	// its sum tracks the instrumented portion of Duration (the gap is loop
+	// glue and setup outside any phase).
+	PhaseBreakdown PhaseBreakdown
 	// EstimatedSmartCardSeconds is the execution-time estimate on the
 	// hardware smart-card profile of the paper (Table 1).
 	EstimatedSmartCardSeconds float64
@@ -591,6 +635,8 @@ func (m *Metrics) Add(o *Metrics) {
 	m.RoundTrips += o.RoundTrips
 	m.ChunksReused += o.ChunksReused
 	m.TimeToFirstByte += o.TimeToFirstByte
+	m.Duration += o.Duration
+	m.PhaseBreakdown.Add(&o.PhaseBreakdown)
 	m.EstimatedSmartCardSeconds += o.EstimatedSmartCardSeconds
 }
 
@@ -639,6 +685,7 @@ func (o ViewOptions) coreOptions() (core.Options, error) {
 	out := core.Options{
 		DummyDeniedNames: o.DummyDeniedNames,
 		DisableSkipIndex: o.DisableSkipIndex,
+		Trace:            o.Trace.context(o.TraceID),
 	}
 	if o.Query != "" {
 		q, err := xpath.Parse(o.Query)
