@@ -18,7 +18,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
 
 	"xmlac"
 	"xmlac/internal/bench"
@@ -35,10 +39,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "run the wall-clock suites and write BENCH_*.json instead of the paper tables")
 	outDir := flag.String("out", ".", "directory receiving the BENCH_*.json artifacts (-json only)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of one traced streaming view of the fixture to this file (-json only)")
+	appendTraj := flag.Bool("append", false, "append a dated, git-stamped entry with every result to the trajectory file (-json only)")
+	trajPath := flag.String("trajectory", "BENCH_trajectory.jsonl", "trajectory file for -append and -gate")
+	gatePct := flag.Float64("gate", 0, "fail when any benchmark's ns/op regresses more than this percentage over the newest trajectory entry (-json only; 0 disables)")
+	source := flag.String("source", "local", "source label recorded in appended trajectory entries (local or ci)")
 	flag.Parse()
 
 	if *jsonOut {
-		if err := runJSON(*scale, *outDir, *traceOut); err != nil {
+		if err := runJSON(*scale, *outDir, *traceOut, *appendTraj, *trajPath, *gatePct, *source); err != nil {
 			fmt.Fprintln(os.Stderr, "xmlac-bench:", err)
 			os.Exit(1)
 		}
@@ -71,8 +79,10 @@ func main() {
 
 // runJSON measures the shared-scan and streaming-view suites on the hospital
 // document at the given scale and writes one JSON artifact per suite, plus an
-// optional Chrome trace of one instrumented streaming view.
-func runJSON(scale float64, outDir, traceOut string) error {
+// optional Chrome trace of one instrumented streaming view. With -append the
+// combined results also become a new trajectory entry; with -gate they are
+// checked against the newest committed entry first.
+func runJSON(scale float64, outDir, traceOut string, appendTraj bool, trajPath string, gatePct float64, source string) error {
 	fx, err := bench.NewHospitalFixture(scale)
 	if err != nil {
 		return err
@@ -111,7 +121,48 @@ func runJSON(scale float64, outDir, traceOut string) error {
 		return err
 	}
 	fmt.Println("wrote", updatePath)
+
+	all := append(append(shared, streaming...), updates...)
+	if gatePct > 0 {
+		baseline, err := bench.NewestTrajectory(trajPath)
+		if err != nil {
+			return fmt.Errorf("gate: %w", err)
+		}
+		if bad := bench.GateTrajectory(baseline, all, gatePct); len(bad) > 0 {
+			return fmt.Errorf("regression gate (>%g%% over %s):\n  %s",
+				gatePct, baseline.Commit, strings.Join(bad, "\n  "))
+		}
+		fmt.Printf("gate: no benchmark regressed more than %g%% over %s\n", gatePct, baseline.Commit)
+	}
+	if appendTraj {
+		entry := bench.TrajectoryEntry{
+			Time:    time.Now().UTC().Format(time.RFC3339),
+			Commit:  gitCommit(),
+			Source:  source,
+			Scale:   scale,
+			Go:      runtime.Version(),
+			Results: all,
+		}
+		if err := bench.AppendTrajectory(trajPath, entry); err != nil {
+			return err
+		}
+		fmt.Println("appended", trajPath)
+	}
 	return nil
+}
+
+// gitCommit stamps trajectory entries with the short revision being measured;
+// a runner without git or outside a repository records "unknown" rather than
+// failing the run.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	if rev := strings.TrimSpace(string(out)); rev != "" {
+		return rev
+	}
+	return "unknown"
 }
 
 // writeTrace runs one traced streaming view of the fixture's secretary policy
@@ -127,7 +178,14 @@ func writeTrace(fx *bench.Fixture, path string) error {
 	if err != nil {
 		return err
 	}
-	if err := trace.WriteChromeTrace(f); err != nil {
+	// The lane form keeps local bench traces loadable alongside the merged
+	// client+server traces xmlac-client writes: same named-process layout,
+	// just a single lane because the fixture never leaves the process.
+	err = xmlac.WriteMergedChromeTrace(f, xmlac.TraceLane{
+		Name:  "client SOE",
+		Spans: trace.Spans(xmlac.TraceFilter{}),
+	})
+	if err != nil {
 		f.Close()
 		return err
 	}

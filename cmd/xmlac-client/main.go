@@ -20,9 +20,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,20 +43,21 @@ func main() {
 	out := flag.String("out", "", "output file (default: stdout)")
 	dummy := flag.Bool("dummy-names", false, "replace denied ancestor names with '_'")
 	wire := flag.Bool("wire", false, "print transfer statistics to stderr")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace (chrome://tracing / Perfetto) of the evaluation to this file")
+	traceOut := flag.String("trace-out", "", "write a merged Chrome trace (chrome://tracing / Perfetto) of the evaluation to this file: the client's decrypt/skip/eval lanes plus, when the server's /debug/trace is reachable, its fetch/view spans of the same trace ID")
+	traceJSONL := flag.String("trace-jsonl", "", "also write the merged client+server spans as JSONL (the xmlac-report -trace input)")
 	flag.Parse()
 
 	if *url == "" || (*profile == "" && *rulesFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*url, *passphrase, *profile, *rulesFile, *subject, *query, *out, *traceOut, *dummy, *wire); err != nil {
+	if err := run(*url, *passphrase, *profile, *rulesFile, *subject, *query, *out, *traceOut, *traceJSONL, *dummy, *wire); err != nil {
 		fmt.Fprintln(os.Stderr, "xmlac-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, passphrase, profile, rulesFile, subject, query, out, traceOut string, dummy, wire bool) error {
+func run(url, passphrase, profile, rulesFile, subject, query, out, traceOut, traceJSONL string, dummy, wire bool) error {
 	if passphrase == "" {
 		// The convention xmlac-serve uses for documents registered without
 		// an explicit passphrase (its -demo content in particular).
@@ -91,8 +94,13 @@ func run(url, passphrase, profile, rulesFile, subject, query, out, traceOut stri
 		dest = tmp
 	}
 	var trace *xmlac.Trace
-	if traceOut != "" {
+	var traceID string
+	if traceOut != "" || traceJSONL != "" {
 		trace = xmlac.NewTrace(0)
+		// A fresh random ID rather than the subject name: it travels to the
+		// server on every range request (X-Request-Id) and must identify this
+		// run uniquely so /debug/trace?id= returns exactly its spans.
+		traceID = xmlac.NewTraceID()
 	}
 	buffered := bufio.NewWriter(dest)
 	metrics, err := doc.StreamAuthorizedView(policy, xmlac.ViewOptions{
@@ -100,7 +108,7 @@ func run(url, passphrase, profile, rulesFile, subject, query, out, traceOut stri
 		DummyDeniedNames: dummy,
 		Indent:           true,
 		Trace:            trace,
-		TraceID:          subject,
+		TraceID:          traceID,
 	}, buffered)
 	if err != nil {
 		return err
@@ -125,19 +133,11 @@ func run(url, passphrase, profile, rulesFile, subject, query, out, traceOut stri
 		tmp = nil
 	}
 	if trace != nil {
-		f, err := os.Create(traceOut)
-		if err != nil {
+		if err := writeMergedTrace(url, traceID, trace, traceOut, traceJSONL); err != nil {
 			return err
 		}
-		if err := trace.WriteChromeTrace(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (phases: decrypt %s, eval %s, fetch %s)\n",
-			traceOut, time.Duration(metrics.PhaseBreakdown.DecryptNs),
+		fmt.Fprintf(os.Stderr, "trace %s (phases: decrypt %s, eval %s, fetch %s)\n",
+			traceID, time.Duration(metrics.PhaseBreakdown.DecryptNs),
 			time.Duration(metrics.PhaseBreakdown.EvalNs), time.Duration(metrics.PhaseBreakdown.FetchNs))
 	}
 	if wire {
@@ -148,6 +148,74 @@ func run(url, passphrase, profile, rulesFile, subject, query, out, traceOut stri
 			metrics.BytesTransferred, metrics.BytesSkipped, metrics.SubtreesSkipped, metrics.TimeToFirstByte)
 	}
 	return nil
+}
+
+// writeMergedTrace assembles the distributed trace of this run: the client's
+// own spans as one lane and — when the server's /debug/trace endpoint answers
+// — the server's spans of the same trace ID as a second lane, parent-linked
+// under the client's evaluation. A server without the debug surface degrades
+// to a client-only trace with a note, never a failed run.
+func writeMergedTrace(docURL, traceID string, trace *xmlac.Trace, traceOut, traceJSONL string) error {
+	lanes := []xmlac.TraceLane{{Name: "client SOE", Spans: trace.Spans(xmlac.TraceFilter{})}}
+	serverSpans, err := fetchServerSpans(docURL, traceID)
+	switch {
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "xmlac-client: server spans unavailable (%v); writing client lane only\n", err)
+	case len(serverSpans) > 0:
+		lanes = append(lanes, xmlac.TraceLane{Name: "untrusted server", Spans: serverSpans})
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := xmlac.WriteMergedChromeTrace(f, lanes...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote merged Chrome trace to %s (%d lanes)\n", traceOut, len(lanes))
+	}
+	if traceJSONL != "" {
+		f, err := os.Create(traceJSONL)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		for _, lane := range lanes {
+			for _, sp := range lane.Spans {
+				if err := enc.Encode(sp); err != nil {
+					f.Close()
+					return err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote merged span JSONL to %s\n", traceJSONL)
+	}
+	return nil
+}
+
+// fetchServerSpans pulls the server-side spans of one trace ID from the
+// serve instance behind the document URL (…/docs/<id> -> …/debug/trace).
+func fetchServerSpans(docURL, traceID string) ([]xmlac.TraceSpan, error) {
+	i := strings.Index(docURL, "/docs/")
+	if i < 0 {
+		return nil, fmt.Errorf("no /docs/ segment in %s", docURL)
+	}
+	resp, err := http.Get(docURL[:i] + "/debug/trace?id=" + traceID)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/trace: %s", resp.Status)
+	}
+	return xmlac.ParseTraceJSONL(resp.Body)
 }
 
 // docID extracts the document id (last path segment) from the document URL.

@@ -34,7 +34,8 @@ func TestRunProfileAgainstServer(t *testing.T) {
 	docURL := startServer(t)
 	out := filepath.Join(t.TempDir(), "view.xml")
 	traceOut := filepath.Join(t.TempDir(), "trace.json")
-	if err := run(docURL, "", "doctor:DrA", "", "user", "", out, traceOut, false, true); err != nil {
+	traceJSONL := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := run(docURL, "", "doctor:DrA", "", "user", "", out, traceOut, traceJSONL, false, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -55,6 +56,16 @@ func TestRunProfileAgainstServer(t *testing.T) {
 	if !strings.HasPrefix(string(trace), "[") || !strings.Contains(string(trace), `"phase:`) {
 		t.Fatalf("-trace-out did not produce a Chrome trace with phase spans: %.200s", string(trace))
 	}
+	if !strings.Contains(string(trace), `"client SOE"`) || !strings.Contains(string(trace), `"untrusted server"`) {
+		t.Fatalf("-trace-out trace misses a merged lane: %.200s", string(trace))
+	}
+	spans, err := os.ReadFile(traceJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(spans), `"server.fetch"`) {
+		t.Fatalf("-trace-jsonl misses server spans: %.200s", string(spans))
+	}
 }
 
 // TestRunRulesFile exercises the rules-file path and the query flag.
@@ -65,7 +76,7 @@ func TestRunRulesFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "view.xml")
-	if err := run(docURL, "", "", rules, "sec", "", out, "", false, false); err != nil {
+	if err := run(docURL, "", "", rules, "sec", "", out, "", "", false, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -79,7 +90,7 @@ func TestRunRulesFile(t *testing.T) {
 
 // TestRunErrors: bad URL and bad profile fail cleanly.
 func TestRunErrors(t *testing.T) {
-	if err := run("http://127.0.0.1:1/docs/none", "x", "secretary", "", "user", "", "", "", false, false); err == nil {
+	if err := run("http://127.0.0.1:1/docs/none", "x", "secretary", "", "user", "", "", "", "", false, false); err == nil {
 		t.Fatal("unreachable server must fail")
 	}
 	if _, err := buildPolicy("astronaut", "", "user"); err == nil {

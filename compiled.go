@@ -1,6 +1,7 @@
 package xmlac
 
 import (
+	"context"
 	"io"
 	"sync"
 	"time"
@@ -94,7 +95,7 @@ func authorizedViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolic
 	if err != nil {
 		return nil, nil, err
 	}
-	res, metrics, err := runViewPipeline(src, key, cp, coreOpts)
+	res, metrics, err := runViewPipeline(opts.Context, src, key, cp, coreOpts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -107,6 +108,13 @@ type traceSetter interface {
 	SetTrace(*itrace.Context)
 }
 
+// contextSetter is implemented by chunk sources whose fetches can be bound to
+// a request context (internal/remote's Source), so canceling the context
+// aborts their in-flight transfers.
+type contextSetter interface {
+	SetContext(context.Context)
+}
+
 // runViewPipeline runs the SOE pipeline (secure reader, Skip-index decoder,
 // streaming evaluator) over any chunk source: the in-memory protected
 // document (local evaluation) or a remote blob (OpenRemote), where every
@@ -117,10 +125,16 @@ type traceSetter interface {
 // When the evaluation fails mid-scan (typically the sink of a disconnected
 // client), the returned Metrics are non-nil and carry the partial counters
 // of the work already performed, so aggregators can still account for it.
-func runViewPipeline(src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOpts core.Options) (*core.Result, *Metrics, error) {
+func runViewPipeline(ctx context.Context, src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOpts core.Options) (*core.Result, *Metrics, error) {
 	start := time.Now()
 	st := evalPool.Get().(*evalState)
 	defer evalPool.Put(st)
+	if ctx != nil {
+		if cs, ok := src.(contextSetter); ok {
+			cs.SetContext(ctx)
+			defer cs.SetContext(nil)
+		}
+	}
 	var err error
 	if st.reader == nil {
 		st.reader, err = secure.NewReader(src, key)

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The perf trajectory: BENCH_trajectory.jsonl holds one dated, git-stamped
+// entry per measurement run, appended by `xmlac-bench -json -append` (CI does
+// this on every push to main). Where the loose BENCH_*.json artifacts are a
+// snapshot of the latest run, the trajectory is the time series across PRs —
+// the input of the xmlac-report observatory and of the `-gate` regression
+// check, which compares a fresh run against the newest committed entry.
+
+// TrajectoryEntry is one measurement run in the trajectory.
+type TrajectoryEntry struct {
+	// Time is the run's wall-clock date in RFC 3339 UTC.
+	Time string `json:"time"`
+	// Commit is the short git revision the run measured ("unknown" when the
+	// runner had no repository).
+	Commit string `json:"commit"`
+	// Source labels who appended the entry: "ci", "local" or "seed"
+	// (back-filled from checked-in snapshots).
+	Source string `json:"source"`
+	// Scale is the hospital-dataset scale factor of the run.
+	Scale float64 `json:"scale"`
+	// Go is the toolchain version (runtime.Version()).
+	Go string `json:"go"`
+	// Results holds every suite's measurements in the stable schema.
+	Results []Result `json:"results"`
+}
+
+// AppendTrajectory appends one entry as a JSON line, creating the file when
+// missing. One line per run keeps the file merge-friendly across PRs.
+func AppendTrajectory(path string, e TrajectoryEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrajectory parses every entry of a trajectory file, oldest first.
+// Blank lines are skipped; a malformed line fails with its line number.
+func ReadTrajectory(path string) ([]TrajectoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []TrajectoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e TrajectoryEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// NewestTrajectory returns the last entry of the file — the baseline the
+// regression gate compares against.
+func NewestTrajectory(path string) (TrajectoryEntry, error) {
+	entries, err := ReadTrajectory(path)
+	if err != nil {
+		return TrajectoryEntry{}, err
+	}
+	if len(entries) == 0 {
+		return TrajectoryEntry{}, fmt.Errorf("%s: empty trajectory", path)
+	}
+	return entries[len(entries)-1], nil
+}
+
+// GateTrajectory compares fresh results against a baseline entry and returns
+// one message per regression: a benchmark whose ns/op grew by more than
+// thresholdPct over the baseline measurement of the same name. Benchmarks
+// present on only one side are skipped — a new suite narrows the gate, it
+// does not fail it. The threshold is deliberately generous (CI passes ~25%):
+// the baseline and the fresh run usually come from different runner
+// machines, so this gate catches step-change regressions, not noise.
+func GateTrajectory(baseline TrajectoryEntry, fresh []Result, thresholdPct float64) []string {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var bad []string
+	for _, r := range fresh {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		growth := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		if growth > thresholdPct {
+			bad = append(bad, fmt.Sprintf("%s: ns/op %+.1f%% (baseline %.0f @ %s, now %.0f)",
+				r.Name, growth, b.NsPerOp, baseline.Commit, r.NsPerOp))
+		}
+	}
+	return bad
+}

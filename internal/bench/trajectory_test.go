@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func entry(commit string, ns float64) TrajectoryEntry {
+	return TrajectoryEntry{
+		Time:   "2026-07-29T00:00:00Z",
+		Commit: commit,
+		Source: "seed",
+		Scale:  1.0,
+		Go:     "go1.22",
+		Results: []Result{
+			{Name: "StreamingView/secretary/streaming", NsPerOp: ns, Iters: 10},
+			{Name: "SharedScan/multicast/subjects=16", NsPerOp: 2 * ns, Iters: 5},
+		},
+	}
+}
+
+func TestTrajectoryAppendReadNewest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.jsonl")
+	if err := AppendTrajectory(path, entry("aaaa111", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(path, entry("bbbb222", 90)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Commit != "aaaa111" || entries[1].Commit != "bbbb222" {
+		t.Fatalf("round trip lost entries: %+v", entries)
+	}
+	newest, err := NewestTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newest.Commit != "bbbb222" || newest.Results[0].NsPerOp != 90 {
+		t.Fatalf("newest is %+v, want the second entry", newest)
+	}
+}
+
+func TestTrajectoryReadRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.jsonl")
+	if err := os.WriteFile(path, []byte("{\"time\":\"x\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrajectory(path); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("malformed line 2 not reported: %v", err)
+	}
+}
+
+func TestGateTrajectory(t *testing.T) {
+	base := entry("base123", 100)
+
+	// Within threshold: +20% on a 25% gate passes.
+	if bad := GateTrajectory(base, []Result{
+		{Name: "StreamingView/secretary/streaming", NsPerOp: 120},
+	}, 25); len(bad) != 0 {
+		t.Fatalf("+20%% flagged on a 25%% gate: %v", bad)
+	}
+
+	// Beyond threshold: +50% fails and the message names the benchmark and
+	// the baseline commit.
+	bad := GateTrajectory(base, []Result{
+		{Name: "StreamingView/secretary/streaming", NsPerOp: 150},
+		{Name: "SharedScan/multicast/subjects=16", NsPerOp: 190},
+	}, 25)
+	if len(bad) != 1 {
+		t.Fatalf("want exactly the +50%% regression, got %v", bad)
+	}
+	if !strings.Contains(bad[0], "StreamingView/secretary/streaming") || !strings.Contains(bad[0], "base123") {
+		t.Fatalf("regression message misses identity: %q", bad[0])
+	}
+
+	// Unknown benchmarks narrow the gate instead of failing it.
+	if bad := GateTrajectory(base, []Result{
+		{Name: "Update/inplace", NsPerOp: 1e12},
+	}, 25); len(bad) != 0 {
+		t.Fatalf("benchmark absent from baseline flagged: %v", bad)
+	}
+}
+
+// TestCommittedTrajectorySeed pins the repository's own trajectory file:
+// parseable, at least two dated entries, each git-stamped with results in the
+// stable schema — the observatory is never empty.
+func TestCommittedTrajectorySeed(t *testing.T) {
+	entries, err := ReadTrajectory(filepath.Join("..", "..", "BENCH_trajectory.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("committed trajectory has %d entries, want >= 2", len(entries))
+	}
+	for i, e := range entries {
+		if _, err := time.Parse(time.RFC3339, e.Time); err != nil {
+			t.Fatalf("entry %d time %q: %v", i, e.Time, err)
+		}
+		if e.Commit == "" || e.Source == "" || len(e.Results) == 0 {
+			t.Fatalf("entry %d underspecified: %+v", i, e)
+		}
+		for _, r := range e.Results {
+			if r.Name == "" || r.NsPerOp <= 0 {
+				t.Fatalf("entry %d result underspecified: %+v", i, r)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,6 +36,16 @@ import (
 
 	"xmlac/internal/secure"
 	"xmlac/internal/trace"
+)
+
+// Trace-propagation headers stamped on every outgoing request while a
+// tracing context is attached: the trace ID rides the server's existing
+// X-Request-Id plumbing (so server-side spans and access-log lines carry
+// it), and the client evaluation's root span ID lets the server record its
+// request spans as children of the evaluation that caused them.
+const (
+	traceIDHeader = "X-Request-Id"
+	spanIDHeader  = "X-Xmlac-Span-Id"
 )
 
 // ErrChanged is returned when the server's blob no longer matches the entity
@@ -136,9 +147,16 @@ type Source struct {
 	prevLast int64
 
 	// trace, when non-nil, charges wire transfer and resync time to the
-	// current evaluation's phase timers and records fetch spans. Guarded by
-	// mu like every other operation on the source.
+	// current evaluation's phase timers, records fetch spans and stamps the
+	// propagation headers on outgoing requests. Guarded by mu like every
+	// other operation on the source.
 	trace *trace.Context
+
+	// ctx, when non-nil, bounds every outgoing request of the current
+	// evaluation: canceling it closes in-flight range fetches, so an
+	// aborted client view stops consuming the wire immediately instead of
+	// draining responses nobody will read. Guarded by mu.
+	ctx context.Context
 }
 
 // SetTrace attaches (or detaches, with nil) the tracing context charged for
@@ -147,6 +165,15 @@ type Source struct {
 func (s *Source) SetTrace(t *trace.Context) {
 	s.mu.Lock()
 	s.trace = t
+	s.mu.Unlock()
+}
+
+// SetContext attaches (or detaches, with nil) the request context bounding
+// this source's outgoing fetches. Like SetTrace it is attached around one
+// evaluation at a time.
+func (s *Source) SetContext(ctx context.Context) {
+	s.mu.Lock()
+	s.ctx = ctx
 	s.mu.Unlock()
 }
 
@@ -758,8 +785,17 @@ func (s *Source) do(method, url string, body io.Reader) (*http.Response, error) 
 	return s.doReq(req)
 }
 
-// doReq issues a request, counting the round trip. Callers hold s.mu.
+// doReq issues a request, counting the round trip, binding it to the
+// attached evaluation context and stamping the trace-propagation headers.
+// Callers hold s.mu.
 func (s *Source) doReq(req *http.Request) (*http.Response, error) {
+	if s.ctx != nil {
+		req = req.WithContext(s.ctx)
+	}
+	if id := s.trace.ID(); id != "" {
+		req.Header.Set(traceIDHeader, id)
+		req.Header.Set(spanIDHeader, s.trace.SpanID())
+	}
 	s.stats.RoundTrips++
 	s.trace.Begin(trace.PhaseFetch)
 	resp, err := s.client.Do(req)

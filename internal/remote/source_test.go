@@ -2,6 +2,7 @@ package remote_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -9,12 +10,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"xmlac"
 	"xmlac/internal/dataset"
 	"xmlac/internal/remote"
 	"xmlac/internal/server"
+	"xmlac/internal/trace"
 	"xmlac/internal/xmlstream"
 )
 
@@ -26,6 +29,11 @@ type reqLog struct {
 	blobRanges []string
 	blobStatus []int
 	hashChunks []string
+	// blobTraceIDs / blobSpanIDs record the trace-propagation headers
+	// (X-Request-Id / X-Xmlac-Span-Id) of each blob request, empty strings
+	// when absent.
+	blobTraceIDs []string
+	blobSpanIDs  []string
 }
 
 func (l *reqLog) snapshotRanges() []string {
@@ -68,6 +76,8 @@ func withLog(log *reqLog, next http.Handler) http.Handler {
 		case strings.HasSuffix(r.URL.Path, "/blob"):
 			log.blobRanges = append(log.blobRanges, r.Header.Get("Range"))
 			log.blobStatus = append(log.blobStatus, rec.status)
+			log.blobTraceIDs = append(log.blobTraceIDs, r.Header.Get("X-Request-Id"))
+			log.blobSpanIDs = append(log.blobSpanIDs, r.Header.Get("X-Xmlac-Span-Id"))
 		case strings.HasSuffix(r.URL.Path, "/hashes"):
 			log.hashChunks = append(log.hashChunks, r.URL.Query().Get("chunk"))
 		}
@@ -128,6 +138,7 @@ func newEnv(t testing.TB, folders int) *testEnv {
 	// The setup GET above is not part of any test's expectations.
 	log.mu.Lock()
 	log.blobRanges, log.blobStatus = nil, nil
+	log.blobTraceIDs, log.blobSpanIDs = nil, nil
 	log.mu.Unlock()
 	return env
 }
@@ -141,6 +152,7 @@ func (e *testEnv) open(t testing.TB, opts remote.Options) *remote.Source {
 	}
 	e.log.mu.Lock()
 	e.log.blobRanges, e.log.blobStatus = nil, nil
+	e.log.blobTraceIDs, e.log.blobSpanIDs = nil, nil
 	e.log.mu.Unlock()
 	return src
 }
@@ -448,4 +460,87 @@ func TestWireBytesCounted(t *testing.T) {
 // shifted by the blob's ciphertext offset.
 func rangeSpec(ctOff, from, to int64) string {
 	return strconv.FormatInt(ctOff+from, 10) + "-" + strconv.FormatInt(ctOff+to-1, 10)
+}
+
+// TestTracePropagationHeaders: while a tracing context is attached, every
+// outgoing request carries the trace ID (X-Request-Id) and the evaluation's
+// root span ID (X-Xmlac-Span-Id); detaching the context stops the stamping.
+func TestTracePropagationHeaders(t *testing.T) {
+	env := newEnv(t, 6)
+	src := env.open(t, remote.Options{PageSize: 64, ReadAhead: -1, GapThreshold: -1})
+	tr := trace.New(trace.NewRecorder(16), "trace-0042")
+	if tr.SpanID() == "" {
+		t.Fatal("tracing context has no span ID")
+	}
+	src.SetTrace(tr)
+	env.mustRange(t, src, 0, 64)
+	src.SetTrace(nil)
+	env.mustRange(t, src, 1024, 64)
+
+	env.log.mu.Lock()
+	traceIDs := append([]string(nil), env.log.blobTraceIDs...)
+	spanIDs := append([]string(nil), env.log.blobSpanIDs...)
+	env.log.mu.Unlock()
+	if len(traceIDs) != 2 {
+		t.Fatalf("expected 2 blob requests, got %d", len(traceIDs))
+	}
+	if traceIDs[0] != "trace-0042" || spanIDs[0] != tr.SpanID() {
+		t.Fatalf("traced fetch sent headers (%q, %q), want (%q, %q)",
+			traceIDs[0], spanIDs[0], "trace-0042", tr.SpanID())
+	}
+	if traceIDs[1] != "" || spanIDs[1] != "" {
+		t.Fatalf("untraced fetch still stamped (%q, %q)", traceIDs[1], spanIDs[1])
+	}
+}
+
+// TestContextCancelClosesInFlightFetch: canceling the context attached with
+// SetContext aborts a range request the server is still holding open, instead
+// of waiting for the response.
+func TestContextCancelClosesInFlightFetch(t *testing.T) {
+	srv := server.New(server.Options{})
+	xml := xmlstream.SerializeTree(dataset.HospitalFolders(6, 7), false)
+	if _, err := srv.Store().RegisterXML("hospital", xml, testPassphrase, xmlac.SchemeECBMHT); err != nil {
+		t.Fatal(err)
+	}
+	var blocking atomic.Bool
+	arrived := make(chan struct{}, 1)
+	release := make(chan struct{})
+	handler := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if blocking.Load() && strings.HasSuffix(r.URL.Path, "/blob") {
+			arrived <- struct{}{}
+			select {
+			case <-r.Context().Done():
+				return // the cancellation propagated to the server
+			case <-release:
+			}
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	src, err := remote.Open(ts.URL+"/docs/hospital", remote.Options{PageSize: 64, ReadAhead: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	src.SetContext(ctx)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := src.CiphertextRange(0, 64)
+		errc <- err
+	}()
+	<-arrived // the request is in flight, held open by the handler
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled fetch returned %v, want context.Canceled", err)
+	}
+	// Detached, the source works again (nil context unbinds the requests).
+	blocking.Store(false)
+	src.SetContext(nil)
+	if _, err := src.CiphertextRange(0, 64); err != nil {
+		t.Fatalf("fetch after detaching the canceled context: %v", err)
+	}
 }

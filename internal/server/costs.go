@@ -1,0 +1,208 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"xmlac"
+)
+
+// Per-subject / per-policy cost accounting: every view evaluation folds its
+// costs into a registry keyed by (subject, policy fingerprint), so operators
+// can see who consumes the decryption budget and which policy version they
+// consume it under — the workload-driven view that capacity decisions (and
+// the ROADMAP scale items) are made against.
+//
+// Cardinality is bounded twice. The registry itself caps the number of
+// distinct keys (defaultCostKeys); once full, new keys fold into one "other"
+// bucket, so a subject flood cannot grow memory. The exports cap again:
+// /debug/costs and /metrics.prom rank by views and emit the top K entries
+// plus an "other" rollup of everything else, so the exposition stays small
+// even when the registry is full.
+
+// defaultCostKeys caps the distinct (subject, policy) keys the registry
+// tracks individually.
+const defaultCostKeys = 256
+
+// defaultCostTopK is the export rank cutoff when ?k= is absent.
+const defaultCostTopK = 20
+
+// maxCostTopK bounds the ?k= parameter.
+const maxCostTopK = 200
+
+type costKey struct {
+	subject string
+	policy  string
+}
+
+// costAccum is the counter set of one (subject, policy) bucket.
+type costAccum struct {
+	Views            int64                `json:"views"`
+	Errors           int64                `json:"errors"`
+	WireBytes        int64                `json:"wire_bytes"`
+	BytesTransferred int64                `json:"bytes_transferred"`
+	BytesDecrypted   int64                `json:"bytes_decrypted"`
+	BytesSkipped     int64                `json:"bytes_skipped"`
+	CacheHits        int64                `json:"cache_hits"`
+	CacheMisses      int64                `json:"cache_misses"`
+	Phases           xmlac.PhaseBreakdown `json:"phases"`
+}
+
+// add folds one evaluation into the bucket. metrics may be nil (an error
+// before the evaluation started still counts the view attempt).
+func (a *costAccum) add(cacheHit bool, wireBytes int64, metrics *xmlac.Metrics, failed bool) {
+	a.Views++
+	if failed {
+		a.Errors++
+	}
+	a.WireBytes += wireBytes
+	if cacheHit {
+		a.CacheHits++
+	} else {
+		a.CacheMisses++
+	}
+	if metrics != nil {
+		a.BytesTransferred += metrics.BytesTransferred
+		a.BytesDecrypted += metrics.BytesDecrypted
+		a.BytesSkipped += metrics.BytesSkipped
+		a.Phases.Add(&metrics.PhaseBreakdown)
+	}
+}
+
+// merge folds another bucket into this one (export-time rollups).
+func (a *costAccum) merge(o *costAccum) {
+	a.Views += o.Views
+	a.Errors += o.Errors
+	a.WireBytes += o.WireBytes
+	a.BytesTransferred += o.BytesTransferred
+	a.BytesDecrypted += o.BytesDecrypted
+	a.BytesSkipped += o.BytesSkipped
+	a.CacheHits += o.CacheHits
+	a.CacheMisses += o.CacheMisses
+	a.Phases.Add(&o.Phases)
+}
+
+// CostEntry is one ranked row of the /debug/costs export: a bucket with its
+// identity attached. The "other" rollup carries subject "other" and an empty
+// policy fingerprint.
+type CostEntry struct {
+	Subject string `json:"subject"`
+	Policy  string `json:"policy,omitempty"`
+	costAccum
+}
+
+// costRegistry is the bounded-cardinality accumulator behind /debug/costs
+// and the per-subject series of /metrics.prom.
+type costRegistry struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[costKey]*costAccum
+	other    costAccum
+	// collapsed counts the recordings folded into other because the key
+	// table was full (views, not distinct subjects: the registry does not
+	// remember identities it rejected — that would be the unbounded memory
+	// the cap exists to avoid).
+	collapsed int64
+}
+
+func newCostRegistry(capacity int) *costRegistry {
+	if capacity <= 0 {
+		capacity = defaultCostKeys
+	}
+	return &costRegistry{capacity: capacity, entries: make(map[costKey]*costAccum)}
+}
+
+// record folds one view evaluation into the subject's bucket, or into the
+// "other" rollup once the key table is full.
+func (cr *costRegistry) record(subject, policy string, cacheHit bool, wireBytes int64, metrics *xmlac.Metrics, failed bool) {
+	key := costKey{subject: subject, policy: policy}
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	a := cr.entries[key]
+	if a == nil {
+		if len(cr.entries) >= cr.capacity {
+			cr.collapsed++
+			cr.other.add(cacheHit, wireBytes, metrics, failed)
+			return
+		}
+		a = &costAccum{}
+		cr.entries[key] = a
+	}
+	a.add(cacheHit, wireBytes, metrics, failed)
+}
+
+// costSnapshot is what the exports render: the top-K buckets ranked by views
+// (ties broken by wire bytes, then by key for determinism), an "other" entry
+// rolling up everything else, and the registry shape.
+type costSnapshot struct {
+	Entries []CostEntry `json:"entries"`
+	// Other rolls up the buckets beyond the top K plus every recording the
+	// full key table collapsed; nil when nothing was folded.
+	Other *CostEntry `json:"other,omitempty"`
+	// Distinct is the number of (subject, policy) keys tracked individually.
+	Distinct int `json:"distinct"`
+	// Collapsed is the number of recordings folded into other because the
+	// key table was full.
+	Collapsed int64 `json:"collapsed"`
+}
+
+func (cr *costRegistry) snapshot(k int) costSnapshot {
+	if k <= 0 {
+		k = defaultCostTopK
+	}
+	cr.mu.Lock()
+	ranked := make([]CostEntry, 0, len(cr.entries))
+	for key, a := range cr.entries {
+		ranked = append(ranked, CostEntry{Subject: key.subject, Policy: key.policy, costAccum: *a})
+	}
+	other := cr.other
+	collapsed := cr.collapsed
+	cr.mu.Unlock()
+
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Views != ranked[j].Views {
+			return ranked[i].Views > ranked[j].Views
+		}
+		if ranked[i].WireBytes != ranked[j].WireBytes {
+			return ranked[i].WireBytes > ranked[j].WireBytes
+		}
+		if ranked[i].Subject != ranked[j].Subject {
+			return ranked[i].Subject < ranked[j].Subject
+		}
+		return ranked[i].Policy < ranked[j].Policy
+	})
+	snap := costSnapshot{Distinct: len(ranked), Collapsed: collapsed}
+	if len(ranked) > k {
+		for i := k; i < len(ranked); i++ {
+			other.merge(&ranked[i].costAccum)
+		}
+		ranked = ranked[:k]
+	}
+	snap.Entries = ranked
+	if other.Views > 0 {
+		snap.Other = &CostEntry{Subject: "other", costAccum: other}
+	}
+	return snap
+}
+
+// handleDebugCosts serves the ranked cost accounting as JSON: the top ?k=
+// (subject, policy fingerprint) buckets by views (default 20, capped at 200)
+// plus an "other" rollup of everything beyond the rank cutoff or the
+// registry's key cap.
+func (s *Server) handleDebugCosts(w http.ResponseWriter, r *http.Request) {
+	k := defaultCostTopK
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed <= 0 {
+			httpError(w, http.StatusBadRequest, "invalid %q query parameter: %q", "k", raw)
+			return
+		}
+		k = parsed
+		if k > maxCostTopK {
+			k = maxCostTopK
+		}
+	}
+	writeJSON(w, http.StatusOK, s.costs.snapshot(k))
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"xmlac"
+)
+
+// TestCostRegistryCardinalityCap: 10k distinct subjects stay within the key
+// cap — the overflow folds into the "other" bucket and nothing is lost.
+func TestCostRegistryCardinalityCap(t *testing.T) {
+	cr := newCostRegistry(32)
+	for i := 0; i < 10_000; i++ {
+		cr.record(fmt.Sprintf("subject-%05d", i), "hash-a", i%2 == 0, 100,
+			&xmlac.Metrics{BytesDecrypted: 10}, false)
+	}
+	cr.mu.Lock()
+	distinct := len(cr.entries)
+	cr.mu.Unlock()
+	if distinct != 32 {
+		t.Fatalf("registry tracks %d keys, cap is 32", distinct)
+	}
+	snap := cr.snapshot(10)
+	if len(snap.Entries) != 10 {
+		t.Fatalf("snapshot(10) returned %d entries", len(snap.Entries))
+	}
+	if snap.Distinct != 32 || snap.Collapsed != 10_000-32 {
+		t.Fatalf("snapshot shape distinct=%d collapsed=%d, want 32 / %d",
+			snap.Distinct, snap.Collapsed, 10_000-32)
+	}
+	if snap.Other == nil {
+		t.Fatal("snapshot misses the other rollup")
+	}
+	// No recording was lost: top-10 + other account for all 10k views and
+	// their bytes.
+	total := snap.Other.Views
+	bytes := snap.Other.BytesDecrypted
+	for _, e := range snap.Entries {
+		total += e.Views
+		bytes += e.BytesDecrypted
+	}
+	if total != 10_000 || bytes != 100_000 {
+		t.Fatalf("views/bytes accounted %d/%d, want 10000/100000", total, bytes)
+	}
+}
+
+// TestCostRegistryRanking: snapshot ranks by views, ties by wire bytes, and
+// rolls beyond-K buckets into other.
+func TestCostRegistryRanking(t *testing.T) {
+	cr := newCostRegistry(0)
+	for i := 0; i < 3; i++ {
+		cr.record("heavy", "h1", true, 50, &xmlac.Metrics{}, false)
+	}
+	cr.record("light", "h2", false, 10, &xmlac.Metrics{}, true)
+	cr.record("mid", "h3", false, 999, &xmlac.Metrics{}, false)
+
+	snap := cr.snapshot(2)
+	if len(snap.Entries) != 2 || snap.Entries[0].Subject != "heavy" || snap.Entries[1].Subject != "mid" {
+		t.Fatalf("ranking wrong: %+v", snap.Entries)
+	}
+	if snap.Other == nil || snap.Other.Views != 1 || snap.Other.Errors != 1 {
+		t.Fatalf("beyond-K bucket not rolled into other: %+v", snap.Other)
+	}
+}
+
+// TestPromLabelEscaping: hostile subject names (quotes, backslashes,
+// newlines) survive the exposition as escaped label values that the format
+// checker accepts, without breaking any other line.
+func TestPromLabelEscaping(t *testing.T) {
+	srv, ts, _ := newLoggedServer(t, Options{})
+	hostile := []string{
+		`evil"quote`,
+		`back\slash`,
+		"multi\nline",
+		`all"of\them` + "\n" + `at once`,
+	}
+	for _, subject := range hostile {
+		srv.costs.record(subject, `policy"hash\`, true, 42, &xmlac.Metrics{BytesDecrypted: 7}, false)
+	}
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/metrics.prom", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics.prom: %d", resp.StatusCode)
+	}
+	subjectLines := 0
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		if strings.HasPrefix(line, "xmlac_subject_views_total{") {
+			subjectLines++
+		}
+	}
+	if subjectLines != len(hostile) {
+		t.Fatalf("%d subject series, want one per hostile subject (%d):\n%s",
+			subjectLines, len(hostile), body)
+	}
+	for _, want := range []string{`subject="evil\"quote"`, `subject="back\\slash"`, `subject="multi\nline"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("escaped label %s missing from exposition", want)
+		}
+	}
+	if strings.Contains(body, "multi\nline\"") {
+		t.Fatal("raw newline leaked into a label value")
+	}
+}
+
+// TestDebugCostsSurface: views accumulate per (subject, policy) buckets
+// served ranked on /debug/costs, with cache hits and phase time visible.
+func TestDebugCostsSurface(t *testing.T) {
+	_, ts, _ := newLoggedServer(t, Options{})
+	putDoc(t, ts, "hospital", hospitalXML(4))
+	putPolicy(t, ts, "hospital", "secretary", `{"rules":[{"sign":"+","object":"//Admin"}]}`)
+	putPolicy(t, ts, "hospital", "DrA", `{"rules":[{"sign":"+","object":"//Folder/Admin"}]}`)
+
+	for i := 0; i < 2; i++ {
+		if resp, _ := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=secretary", ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("secretary view %d: %d", i, resp.StatusCode)
+		}
+	}
+	if resp, _ := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=DrA", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DrA view: %d", resp.StatusCode)
+	}
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/debug/costs", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/costs: %d %s", resp.StatusCode, body)
+	}
+	var snap struct {
+		Entries []struct {
+			Subject   string `json:"subject"`
+			Policy    string `json:"policy"`
+			Views     int64  `json:"views"`
+			WireBytes int64  `json:"wire_bytes"`
+			CacheHits int64  `json:"cache_hits"`
+			Phases    struct {
+				EvalNs int64
+			} `json:"phases"`
+		} `json:"entries"`
+		Distinct int `json:"distinct"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("costs JSON: %v\n%s", err, body)
+	}
+	if snap.Distinct != 2 || len(snap.Entries) != 2 {
+		t.Fatalf("expected 2 buckets, got %s", body)
+	}
+	top := snap.Entries[0]
+	if top.Subject != "secretary" || top.Views != 2 {
+		t.Fatalf("top bucket %+v, want secretary with 2 views", top)
+	}
+	if top.Policy == "" || top.WireBytes <= 0 {
+		t.Fatalf("bucket misses policy fingerprint or wire bytes: %+v", top)
+	}
+	if top.CacheHits != 1 {
+		t.Fatalf("secretary cache hits %d, want 1 (second view reuses the compilation)", top.CacheHits)
+	}
+	if top.Phases.EvalNs <= 0 {
+		t.Fatalf("phase breakdown empty despite tracing on: %+v", top)
+	}
+
+	// ?k= cuts the rank and rolls the rest into other.
+	_, body = do(t, http.MethodGet, ts.URL+"/debug/costs?k=1", "")
+	var cut struct {
+		Entries []struct {
+			Subject string `json:"subject"`
+		} `json:"entries"`
+		Other *struct {
+			Subject string `json:"subject"`
+			Views   int64  `json:"views"`
+		} `json:"other"`
+	}
+	if err := json.Unmarshal([]byte(body), &cut); err != nil {
+		t.Fatal(err)
+	}
+	if len(cut.Entries) != 1 || cut.Entries[0].Subject != "secretary" {
+		t.Fatalf("k=1 entries: %s", body)
+	}
+	if cut.Other == nil || cut.Other.Subject != "other" || cut.Other.Views != 1 {
+		t.Fatalf("k=1 other rollup: %s", body)
+	}
+
+	if resp, _ := do(t, http.MethodGet, ts.URL+"/debug/costs?k=zero", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad k must 400, got %d", resp.StatusCode)
+	}
+}

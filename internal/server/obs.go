@@ -7,7 +7,11 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
+
+	"xmlac"
+	"xmlac/internal/trace"
 )
 
 // Request-scoped observability: every request gets a trace ID — honored from
@@ -19,6 +23,12 @@ import (
 // requestIDHeader is the header carrying the request-scoped trace ID, both
 // inbound (honored) and outbound (echoed).
 const requestIDHeader = "X-Request-Id"
+
+// spanIDHeader carries the span ID of the client evaluation that caused the
+// request (stamped by internal/remote alongside the trace ID). The server
+// records its request spans with it as their parent, so the client's merged
+// Chrome trace links server fetches under the evaluation they served.
+const spanIDHeader = "X-Xmlac-Span-Id"
 
 type requestIDKey struct{}
 
@@ -107,6 +117,24 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK // handler returned without writing anything
 		}
+		if name := serverSpanName(r.URL.Path); name != "" && s.trace != nil {
+			span := xmlac.TraceSpan{
+				TraceID: id,
+				SpanID:  trace.NewSpanID(),
+				Name:    name,
+				Start:   start,
+				Dur:     time.Since(start),
+				Bytes:   sw.bytes,
+				Detail:  r.Method + " " + r.URL.Path + " -> " + strconv.Itoa(status),
+			}
+			// A well-formed client span header makes this span a child of the
+			// evaluation that issued the request; anything else stays unlinked
+			// rather than reflecting hostile bytes into the export.
+			if parent := r.Header.Get(spanIDHeader); validRequestID(parent) {
+				span.Parent = parent
+			}
+			s.trace.RecordSpan(span)
+		}
 		attrs := []any{
 			slog.String("trace_id", id),
 			slog.String("method", r.Method),
@@ -131,23 +159,61 @@ func toAttrs(in []any) []slog.Attr {
 	return out
 }
 
-// handleDebugTrace serves the last ?n= spans of the server's trace ring as
-// JSONL, newest-last (n <= 0 or absent returns every retained span).
+// serverSpanName maps a request path to the span name recorded in the trace
+// ring, or "" for surfaces that would only flood the ring (metric scrapes,
+// debug endpoints, health checks, registrations).
+func serverSpanName(path string) string {
+	switch {
+	case strings.HasSuffix(path, "/blob"):
+		return "server.fetch"
+	case strings.HasSuffix(path, "/manifest"):
+		return "server.manifest"
+	case strings.HasSuffix(path, "/hashes"):
+		return "server.hash-fetch"
+	case strings.HasSuffix(path, "/delta"):
+		return "server.delta"
+	case strings.HasSuffix(path, "/view"):
+		return "server.view"
+	}
+	return ""
+}
+
+// handleDebugTrace serves retained spans of the server's trace ring as JSONL,
+// oldest first. Query parameters:
+//
+//	n=N        keep only the newest N matching spans (absent or 0: all)
+//	id=T       keep only spans of trace ID T (an X-Request-Id value) — how a
+//	           remote client fetches the server-side half of its own trace
+//	           for a merged view
+//	since=S    keep only spans recorded after sequence number S (every span
+//	           carries its "seq", so pollers resume where they left off)
+//
+// The filters combine; the newest-N cap applies after the id/since matches.
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if s.trace == nil {
 		httpError(w, http.StatusNotFound, "tracing is disabled on this server")
 		return
 	}
-	n := 0
-	if raw := r.URL.Query().Get("n"); raw != "" {
+	q := r.URL.Query()
+	var f xmlac.TraceFilter
+	if raw := q.Get("n"); raw != "" {
 		parsed, err := strconv.Atoi(raw)
 		if err != nil || parsed < 0 {
 			httpError(w, http.StatusBadRequest, "invalid %q query parameter: %q", "n", raw)
 			return
 		}
-		n = parsed
+		f.N = parsed
 	}
+	if raw := q.Get("since"); raw != "" {
+		parsed, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid %q query parameter: %q", "since", raw)
+			return
+		}
+		f.Since = parsed
+	}
+	f.TraceID = q.Get("id")
 	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	s.trace.WriteJSONL(w, n)
+	s.trace.WriteJSONLFiltered(w, f)
 }

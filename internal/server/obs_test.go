@@ -286,3 +286,137 @@ func TestPrometheusExpositionFormat(t *testing.T) {
 		t.Error("view wire-bytes histogram sum must be positive after served views")
 	}
 }
+
+// traceLines parses a /debug/trace JSONL body into spans.
+func traceLines(t *testing.T, body string) []struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	Parent  string `json:"parent"`
+	Name    string `json:"name"`
+	Seq     uint64 `json:"seq"`
+} {
+	t.Helper()
+	var out []struct {
+		TraceID string `json:"trace_id"`
+		SpanID  string `json:"span_id"`
+		Parent  string `json:"parent"`
+		Name    string `json:"name"`
+		Seq     uint64 `json:"seq"`
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var s struct {
+			TraceID string `json:"trace_id"`
+			SpanID  string `json:"span_id"`
+			Parent  string `json:"parent"`
+			Name    string `json:"name"`
+			Seq     uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("span line is not JSON: %v\n%s", err, sc.Text())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestServerSpansRecordParentLinkage: a blob request carrying the
+// trace-propagation headers is recorded as a server.fetch span under the
+// client's trace ID with the client span as its parent; a hostile span
+// header is dropped instead of reflected.
+func TestServerSpansRecordParentLinkage(t *testing.T) {
+	_, ts, _ := newLoggedServer(t, Options{})
+	putDoc(t, ts, "hospital", hospitalXML(4))
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/docs/hospital/blob", nil)
+	req.Header.Set("X-Request-Id", "link-probe")
+	req.Header.Set("X-Xmlac-Span-Id", "aabbccdd00112233")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp2, body := do(t, http.MethodGet, ts.URL+"/debug/trace?id=link-probe", "")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace?id=: %d %s", resp2.StatusCode, body)
+	}
+	spans := traceLines(t, body)
+	if len(spans) != 1 {
+		t.Fatalf("id filter returned %d spans, want exactly the blob request's: %s", len(spans), body)
+	}
+	got := spans[0]
+	if got.Name != "server.fetch" || got.TraceID != "link-probe" {
+		t.Fatalf("span is %+v, want server.fetch under link-probe", got)
+	}
+	if got.Parent != "aabbccdd00112233" {
+		t.Fatalf("server span parent %q, want the client span ID", got.Parent)
+	}
+	if got.SpanID == "" || got.Seq == 0 {
+		t.Fatalf("server span misses its own identity: %+v", got)
+	}
+
+	// Hostile span header: the span is recorded without parent linkage.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/docs/hospital/blob", nil)
+	req.Header.Set("X-Request-Id", "hostile-parent")
+	req.Header.Set("X-Xmlac-Span-Id", "bad span \"quoted\" with spaces")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	_, body = do(t, http.MethodGet, ts.URL+"/debug/trace?id=hostile-parent", "")
+	spans = traceLines(t, body)
+	if len(spans) != 1 || spans[0].Parent != "" {
+		t.Fatalf("hostile span header must be dropped, got %+v", spans)
+	}
+}
+
+// TestDebugTraceSinceFilter: ?since=SEQ returns only spans recorded after
+// that sequence number, so pollers resume where they left off.
+func TestDebugTraceSinceFilter(t *testing.T) {
+	_, ts, _ := newLoggedServer(t, Options{})
+	putDoc(t, ts, "hospital", hospitalXML(4))
+	putPolicy(t, ts, "hospital", "secretary", `{"rules":[{"sign":"+","object":"//Admin"}]}`)
+
+	if resp, _ := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=secretary", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("view: %d", resp.StatusCode)
+	}
+	_, body := do(t, http.MethodGet, ts.URL+"/debug/trace", "")
+	var mark uint64
+	for _, s := range traceLines(t, body) {
+		if s.Seq > mark {
+			mark = s.Seq
+		}
+	}
+	if mark == 0 {
+		t.Fatalf("no spans after a view; body:\n%s", body)
+	}
+
+	// Nothing new yet: the filter returns no spans.
+	_, body = do(t, http.MethodGet, ts.URL+"/debug/trace?since="+strconv.FormatUint(mark, 10), "")
+	if spans := traceLines(t, body); len(spans) != 0 {
+		t.Fatalf("since=%d returned stale spans: %+v", mark, spans)
+	}
+
+	if resp, _ := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject=secretary", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second view: %d", resp.StatusCode)
+	}
+	_, body = do(t, http.MethodGet, ts.URL+"/debug/trace?since="+strconv.FormatUint(mark, 10), "")
+	spans := traceLines(t, body)
+	if len(spans) == 0 {
+		t.Fatal("since filter dropped the spans of the second view")
+	}
+	for _, s := range spans {
+		if s.Seq <= mark {
+			t.Fatalf("span %+v predates since=%d", s, mark)
+		}
+	}
+
+	if resp, _ := do(t, http.MethodGet, ts.URL+"/debug/trace?since=-3", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since must 400, got %d", resp.StatusCode)
+	}
+}

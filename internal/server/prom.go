@@ -5,7 +5,9 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"xmlac/internal/trace"
@@ -34,6 +36,44 @@ func promFloat(v float64) string {
 // promCounter writes one HELP/TYPE/sample triple for a single-sample metric.
 func promCounter(w io.Writer, name, help string, kind string, value string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, kind, name, value)
+}
+
+// promLabelEscaper implements the label-value escaping of the text
+// exposition format: backslash, double quote and newline are the only
+// characters that need it. Subjects are client-chosen strings, so the
+// escaping is what keeps a hostile name from breaking the exposition.
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabelEscape renders one label value, quoted and escaped.
+func promLabelEscape(v string) string {
+	return `"` + promLabelEscaper.Replace(v) + `"`
+}
+
+// promSubjectLabels renders the {subject=...,policy=...} label set of the
+// per-subject cost series (policy omitted when empty — the "other" rollup).
+func promSubjectLabels(subject, policy string) string {
+	if policy == "" {
+		return "{subject=" + promLabelEscape(subject) + "}"
+	}
+	return "{subject=" + promLabelEscape(subject) + ",policy=" + promLabelEscape(policy) + "}"
+}
+
+// promLabeledSeries writes one HELP/TYPE header followed by every sample of
+// a labeled metric. samples alternate label-set / value strings.
+func promLabeledSeries(w io.Writer, name, help, kind string, samples [][2]string) {
+	if len(samples) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s%s %s\n", name, s[0], s[1])
+	}
+}
+
+// sortSamples orders labeled samples by their label set, keeping the
+// exposition deterministic where a series was assembled from a map.
+func sortSamples(samples [][2]string) {
+	sort.Slice(samples, func(i, j int) bool { return samples[i][0] < samples[j][0] })
 }
 
 // promHistogram writes a snapshot in the cumulative-bucket exposition form.
@@ -112,6 +152,51 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		strconv.FormatInt(totals.BytesSkipped, 10))
 	promCounter(w, "xmlac_nodes_permitted_total", "Nodes delivered into authorized views.", "counter",
 		strconv.FormatInt(totals.NodesPermitted, 10))
+
+	// Per-subject cost series: the top-K buckets of the cost registry plus
+	// its "other" rollup, so the exposition's cardinality stays bounded no
+	// matter how many subjects the server has seen.
+	costs := s.costs.snapshot(defaultCostTopK)
+	entries := costs.Entries
+	if costs.Other != nil {
+		entries = append(entries[:len(entries):len(entries)], *costs.Other)
+	}
+	var views, errsS, wire, decrypted, hitsS [][2]string
+	var phases [][2]string
+	for _, e := range entries {
+		labels := promSubjectLabels(e.Subject, e.Policy)
+		views = append(views, [2]string{labels, strconv.FormatInt(e.Views, 10)})
+		if e.Errors > 0 {
+			errsS = append(errsS, [2]string{labels, strconv.FormatInt(e.Errors, 10)})
+		}
+		wire = append(wire, [2]string{labels, strconv.FormatInt(e.WireBytes, 10)})
+		decrypted = append(decrypted, [2]string{labels, strconv.FormatInt(e.BytesDecrypted, 10)})
+		hitsS = append(hitsS, [2]string{labels, strconv.FormatInt(e.CacheHits, 10)})
+		for phase, ns := range map[string]int64{
+			"decrypt": e.Phases.DecryptNs, "verify": e.Phases.VerifyNs, "decode": e.Phases.DecodeNs,
+			"skip": e.Phases.SkipNs, "eval": e.Phases.EvalNs, "emit": e.Phases.EmitNs,
+			"fetch": e.Phases.FetchNs, "hash_fetch": e.Phases.HashFetchNs, "resync": e.Phases.ResyncNs,
+		} {
+			if ns > 0 {
+				pl := strings.TrimSuffix(labels, "}") + ",phase=" + promLabelEscape(phase) + "}"
+				phases = append(phases, [2]string{pl, promFloat(float64(ns) / 1e9)})
+			}
+		}
+	}
+	sortSamples(phases)
+	promLabeledSeries(w, "xmlac_subject_views_total",
+		"Views evaluated per (subject, policy fingerprint); the other bucket rolls up beyond-top-K subjects.",
+		"counter", views)
+	promLabeledSeries(w, "xmlac_subject_view_errors_total",
+		"Failed or aborted views per (subject, policy fingerprint).", "counter", errsS)
+	promLabeledSeries(w, "xmlac_subject_wire_bytes_total",
+		"HTTP body bytes streamed per (subject, policy fingerprint).", "counter", wire)
+	promLabeledSeries(w, "xmlac_subject_bytes_decrypted_total",
+		"Bytes decrypted per (subject, policy fingerprint), amortized for shared scans.", "counter", decrypted)
+	promLabeledSeries(w, "xmlac_subject_cache_hits_total",
+		"Compiled-policy cache hits per (subject, policy fingerprint).", "counter", hitsS)
+	promLabeledSeries(w, "xmlac_subject_phase_seconds_total",
+		"Exclusive evaluation time per (subject, policy fingerprint, pipeline phase).", "counter", phases)
 
 	promHistogram(w, "xmlac_view_duration_seconds",
 		"Wall time of one view evaluation (shared scans report the whole scan per subject).",

@@ -86,6 +86,7 @@ type Server struct {
 	started  time.Time
 	logger   *slog.Logger
 	trace    *xmlac.Trace // nil when tracing is disabled
+	costs    *costRegistry
 
 	// Scrape-facing latency/size distributions (GET /metrics.prom).
 	viewSeconds   *trace.Histogram
@@ -134,6 +135,7 @@ func New(opts Options) *Server {
 		opts:          opts,
 		started:       time.Now(),
 		logger:        logger,
+		costs:         newCostRegistry(0),
 		viewSeconds:   trace.NewHistogram(viewSecondsBounds...),
 		viewBytes:     trace.NewHistogram(viewBytesBounds...),
 		batchSubjects: trace.NewHistogram(batchSubjectsBounds...),
@@ -202,6 +204,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
 	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("GET /debug/costs", s.handleDebugCosts)
 	if s.opts.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
@@ -466,18 +469,19 @@ func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
 }
 
 // compiledFor returns the compiled policy for a subject over a document,
-// compiling and caching it on first use.
-func (s *Server) compiledFor(entry *DocumentEntry, rec PolicyRecord, subject string) (*xmlac.CompiledPolicy, error) {
+// compiling and caching it on first use. The second return reports whether
+// the cache served it (the cost registry accounts hits per subject).
+func (s *Server) compiledFor(entry *DocumentEntry, rec PolicyRecord, subject string) (*xmlac.CompiledPolicy, bool, error) {
 	key := cacheKey{docID: entry.ID, subject: subject, hash: rec.Hash}
 	if cp, ok := s.cache.Get(key); ok {
-		return cp, nil
+		return cp, true, nil
 	}
 	cp, err := rec.Policy.Compile()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.cache.Put(key, cp)
-	return cp, nil
+	return cp, false, nil
 }
 
 // viewFlushThreshold is how many body bytes may accumulate before the
@@ -559,10 +563,11 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sess := s.sessions.Acquire(entry.ID, subject)
-	cp, err := s.compiledFor(entry, rec, subject)
+	cp, cacheHit, err := s.compiledFor(entry, rec, subject)
 	if err != nil {
 		sess.RecordError()
 		s.viewErrors.Add(1)
+		s.costs.record(subject, rec.Hash, cacheHit, 0, nil, true)
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -601,6 +606,10 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	if accounting == nil {
 		accounting = metrics
 	}
+	// The cost registry folds the amortized record (like the lifetime
+	// totals), so per-subject byte counters sum to physical work; wire bytes
+	// are the HTTP body bytes this request actually put on the wire.
+	s.costs.record(subject, rec.Hash, cacheHit, vw.written, accounting, err != nil)
 	if err != nil {
 		s.viewErrors.Add(1)
 		if accounting != nil {

@@ -21,6 +21,8 @@
 package trace
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -90,6 +92,7 @@ func (p Phase) String() string {
 type Context struct {
 	rec     *Recorder
 	id      string
+	span    string
 	started time.Time
 	mark    time.Time
 	stack   []Phase
@@ -100,10 +103,23 @@ type Context struct {
 }
 
 // New returns a Context recording into rec (which may be nil: phases are
-// still timed, spans are dropped) under the given trace ID.
+// still timed, spans are dropped) under the given trace ID. The context is
+// assigned a fresh span ID identifying the evaluation's root span: child
+// spans recorded through the context carry it as their parent, and remote
+// sources propagate it over the wire so a cooperating server can link its
+// own spans under this evaluation.
 func New(rec *Recorder, id string) *Context {
 	now := time.Now()
-	return &Context{rec: rec, id: id, started: now, mark: now}
+	return &Context{rec: rec, id: id, span: NewSpanID(), started: now, mark: now}
+}
+
+// NewSpanID returns a fresh 16-hex-digit random span ID.
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000" // a correlation aid, not a secret
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // ID returns the trace ID ("" on a nil Context).
@@ -112,6 +128,14 @@ func (c *Context) ID() string {
 		return ""
 	}
 	return c.id
+}
+
+// SpanID returns the ID of the evaluation's root span ("" on a nil Context).
+func (c *Context) SpanID() string {
+	if c == nil {
+		return ""
+	}
+	return c.span
 }
 
 // Begin pushes a phase: time since the last transition is charged to the
@@ -170,6 +194,7 @@ func (c *Context) Record(name string, start time.Time, bytes, chunks int64, deta
 	}
 	c.rec.Record(Span{
 		TraceID: c.id,
+		Parent:  c.span,
 		Name:    name,
 		Start:   start,
 		Dur:     time.Since(start),
@@ -219,6 +244,7 @@ func (c *Context) Finish(name string, bytes int64) time.Duration {
 		if ns := c.phases[p]; ns > 0 {
 			c.rec.Record(Span{
 				TraceID: c.id,
+				Parent:  c.span,
 				Name:    "phase:" + p.String(),
 				Start:   c.started,
 				Dur:     time.Duration(ns),
@@ -231,6 +257,7 @@ func (c *Context) Finish(name string, bytes int64) time.Duration {
 	}
 	c.rec.Record(Span{
 		TraceID: c.id,
+		SpanID:  c.span,
 		Name:    name,
 		Start:   c.started,
 		Dur:     total,
@@ -242,13 +269,25 @@ func (c *Context) Finish(name string, bytes int64) time.Duration {
 
 // Span is one completed, timed unit of work.
 type Span struct {
-	TraceID string        `json:"trace_id,omitempty"`
-	Name    string        `json:"name"`
-	Start   time.Time     `json:"start"`
-	Dur     time.Duration `json:"dur_ns"`
-	Bytes   int64         `json:"bytes,omitempty"`
-	Chunks  int64         `json:"chunks,omitempty"`
-	Detail  string        `json:"detail,omitempty"`
+	// TraceID groups the spans of one logical operation; when a client
+	// propagates it over the wire (X-Request-Id), spans recorded on both
+	// sides of the trust boundary share it.
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID identifies this span so children can point at it; only root
+	// spans carry one (child spans are identified by their parent linkage).
+	SpanID string `json:"span_id,omitempty"`
+	// Parent is the SpanID of the enclosing span — for a server-side span,
+	// the client evaluation that caused the request (X-Xmlac-Span-Id).
+	Parent string        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Bytes  int64         `json:"bytes,omitempty"`
+	Chunks int64         `json:"chunks,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+	// Seq is the recorder-assigned monotonic sequence number (1 for the
+	// first span ever recorded): pollers resume with "spans after seq N".
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // DefaultRecorderCapacity is the ring size selected by NewRecorder when the
@@ -275,18 +314,20 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{buf: make([]Span, capacity)}
 }
 
-// Record appends a span, evicting the oldest when the ring is full.
+// Record appends a span, evicting the oldest when the ring is full, and
+// assigns it the next sequence number.
 func (r *Recorder) Record(s Span) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	r.total++
+	s.Seq = r.total
 	r.buf[r.next] = s
 	r.next = (r.next + 1) % len(r.buf)
 	if r.count < len(r.buf) {
 		r.count++
 	}
-	r.total++
 	r.mu.Unlock()
 }
 
@@ -310,24 +351,47 @@ func (r *Recorder) Total() uint64 {
 	return r.total
 }
 
+// Filter selects a subset of the retained spans.
+type Filter struct {
+	// TraceID, when non-empty, keeps only spans of that trace.
+	TraceID string
+	// Since, when non-zero, keeps only spans with a sequence number
+	// strictly greater (pollers resume where the previous read stopped).
+	Since uint64
+	// N, when positive, keeps only the newest N of the matching spans.
+	N int
+}
+
 // Last returns up to n of the most recent spans, oldest first. n <= 0 means
 // all retained spans.
 func (r *Recorder) Last(n int) []Span {
+	return r.Spans(Filter{N: n})
+}
+
+// Spans returns the retained spans matching the filter, oldest first.
+func (r *Recorder) Spans(f Filter) []Span {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if n <= 0 || n > r.count {
-		n = r.count
-	}
-	out := make([]Span, n)
-	start := r.next - n
+	start := r.next - r.count
 	if start < 0 {
 		start += len(r.buf)
 	}
-	for i := 0; i < n; i++ {
-		out[i] = r.buf[(start+i)%len(r.buf)]
+	var out []Span
+	for i := 0; i < r.count; i++ {
+		s := r.buf[(start+i)%len(r.buf)]
+		if f.TraceID != "" && s.TraceID != f.TraceID {
+			continue
+		}
+		if f.Since != 0 && s.Seq <= f.Since {
+			continue
+		}
+		out = append(out, s)
+	}
+	if f.N > 0 && len(out) > f.N {
+		out = out[len(out)-f.N:]
 	}
 	return out
 }
@@ -335,8 +399,14 @@ func (r *Recorder) Last(n int) []Span {
 // WriteJSONL writes up to n of the most recent spans (oldest first) as one
 // JSON object per line. n <= 0 means all retained spans.
 func (r *Recorder) WriteJSONL(w io.Writer, n int) error {
+	return r.WriteJSONLFiltered(w, Filter{N: n})
+}
+
+// WriteJSONLFiltered writes the spans matching the filter (oldest first) as
+// one JSON object per line.
+func (r *Recorder) WriteJSONLFiltered(w io.Writer, f Filter) error {
 	enc := json.NewEncoder(w)
-	for _, s := range r.Last(n) {
+	for _, s := range r.Spans(f) {
 		if err := enc.Encode(s); err != nil {
 			return err
 		}
@@ -349,48 +419,87 @@ func (r *Recorder) WriteJSONL(w io.Writer, n int) error {
 // chrome://tracing or Perfetto. Phase spans (recorded by Context.Finish) are
 // per-phase totals anchored at the evaluation start, not exact intervals.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	type chromeEvent struct {
-		Name string         `json:"name"`
-		Ph   string         `json:"ph"`
-		Ts   float64        `json:"ts"`
-		Dur  float64        `json:"dur"`
-		Pid  int            `json:"pid"`
-		Tid  int            `json:"tid"`
-		Args map[string]any `json:"args,omitempty"`
+	return WriteChromeTraceLanes(w, []Lane{{Spans: r.Last(0)}})
+}
+
+// Lane is one named process row of a merged Chrome trace: a span set from
+// one side of the trust boundary (the client SOE, the untrusted server).
+type Lane struct {
+	// Name labels the lane as a process name in the viewer ("" leaves the
+	// process unnamed).
+	Name  string
+	Spans []Span
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTraceLanes writes several span sets as one Chrome trace, each
+// lane its own process (pid) so the viewer shows them as parallel groups —
+// client decrypt/skip/eval rows interleaved with server fetch rows on one
+// shared time axis. Within a lane, spans of distinct trace IDs land on
+// distinct thread rows.
+func WriteChromeTraceLanes(w io.Writer, lanes []Lane) error {
+	var events []chromeEvent
+	for li, lane := range lanes {
+		pid := li + 1
+		if lane.Name != "" {
+			events = append(events, chromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  pid,
+				Args: map[string]any{"name": lane.Name},
+			})
+		}
+		// Stable per-trace rows so concurrent evaluations do not interleave
+		// in one row of the viewer.
+		rows := map[string]int{}
+		for _, s := range lane.Spans {
+			row, ok := rows[s.TraceID]
+			if !ok {
+				row = len(rows) + 1
+				rows[s.TraceID] = row
+			}
+			args := map[string]any{}
+			if s.TraceID != "" {
+				args["trace_id"] = s.TraceID
+			}
+			if s.SpanID != "" {
+				args["span_id"] = s.SpanID
+			}
+			if s.Parent != "" {
+				args["parent"] = s.Parent
+			}
+			if s.Bytes != 0 {
+				args["bytes"] = s.Bytes
+			}
+			if s.Chunks != 0 {
+				args["chunks"] = s.Chunks
+			}
+			if s.Detail != "" {
+				args["detail"] = s.Detail
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				Ts:   float64(s.Start.UnixNano()) / 1e3,
+				Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+				Pid:  pid,
+				Tid:  row,
+				Args: args,
+			})
+		}
 	}
-	spans := r.Last(0)
-	events := make([]chromeEvent, 0, len(spans))
-	// Stable per-trace lanes so concurrent evaluations do not interleave in
-	// one row of the viewer.
-	lanes := map[string]int{}
-	for _, s := range spans {
-		lane, ok := lanes[s.TraceID]
-		if !ok {
-			lane = len(lanes) + 1
-			lanes[s.TraceID] = lane
-		}
-		args := map[string]any{}
-		if s.TraceID != "" {
-			args["trace_id"] = s.TraceID
-		}
-		if s.Bytes != 0 {
-			args["bytes"] = s.Bytes
-		}
-		if s.Chunks != 0 {
-			args["chunks"] = s.Chunks
-		}
-		if s.Detail != "" {
-			args["detail"] = s.Detail
-		}
-		events = append(events, chromeEvent{
-			Name: s.Name,
-			Ph:   "X",
-			Ts:   float64(s.Start.UnixNano()) / 1e3,
-			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
-			Pid:  1,
-			Tid:  lane,
-			Args: args,
-		})
+	if events == nil {
+		events = []chromeEvent{}
 	}
 	data, err := json.Marshal(events)
 	if err != nil {

@@ -226,6 +226,129 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+// TestRecorderSeqAndFilters pins the polling contract of GET /debug/trace:
+// sequence numbers are monotonic from 1, ?id= keeps one trace, ?since=
+// resumes strictly after a seq, and the filters compose with the newest-N
+// cap.
+func TestRecorderSeqAndFilters(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 6; i++ {
+		id := "a"
+		if i%2 == 1 {
+			id = "b"
+		}
+		r.Record(Span{TraceID: id, Name: string(rune('0' + i)), Start: time.Now()})
+	}
+	all := r.Spans(Filter{})
+	if len(all) != 6 {
+		t.Fatalf("got %d spans", len(all))
+	}
+	for i, s := range all {
+		if s.Seq != uint64(i+1) {
+			t.Fatalf("span %d has seq %d, want %d", i, s.Seq, i+1)
+		}
+	}
+	onlyA := r.Spans(Filter{TraceID: "a"})
+	if len(onlyA) != 3 {
+		t.Fatalf("trace-a spans = %d, want 3", len(onlyA))
+	}
+	for _, s := range onlyA {
+		if s.TraceID != "a" {
+			t.Fatalf("filter leaked %+v", s)
+		}
+	}
+	since := r.Spans(Filter{Since: 4})
+	if len(since) != 2 || since[0].Seq != 5 || since[1].Seq != 6 {
+		t.Fatalf("since=4 spans = %+v", since)
+	}
+	newest := r.Spans(Filter{TraceID: "a", N: 1})
+	if len(newest) != 1 || newest[0].Name != "4" {
+		t.Fatalf("newest-a = %+v", newest)
+	}
+	// Eviction keeps sequence numbers stable: after wrapping, the oldest
+	// retained span's seq reflects how many were dropped.
+	for i := 6; i < 12; i++ {
+		r.Record(Span{TraceID: "a", Name: "late", Start: time.Now()})
+	}
+	wrapped := r.Spans(Filter{})
+	if len(wrapped) != 8 || wrapped[0].Seq != 5 {
+		t.Fatalf("after wrap: %d spans, first seq %d", len(wrapped), wrapped[0].Seq)
+	}
+}
+
+// TestContextSpanLinkage pins the parent linkage the merged traces rely on:
+// child spans (fetches, phase aggregates) carry the context's span ID as
+// parent, and the root span carries it as its own ID.
+func TestContextSpanLinkage(t *testing.T) {
+	rec := NewRecorder(16)
+	c := New(rec, "req-9")
+	if c.SpanID() == "" {
+		t.Fatal("context has no span ID")
+	}
+	c.Begin(PhaseEval)
+	time.Sleep(time.Millisecond)
+	c.End()
+	start := c.Now()
+	c.Record("remote.fetch", start, 10, 1, "")
+	c.Finish("view:x", 99)
+	var root, fetch, phase *Span
+	spans := rec.Last(0)
+	for i := range spans {
+		switch spans[i].Name {
+		case "view:x":
+			root = &spans[i]
+		case "remote.fetch":
+			fetch = &spans[i]
+		case "phase:eval":
+			phase = &spans[i]
+		}
+	}
+	if root == nil || fetch == nil || phase == nil {
+		t.Fatalf("missing spans: %+v", spans)
+	}
+	if root.SpanID != c.SpanID() {
+		t.Fatalf("root span ID %q, want %q", root.SpanID, c.SpanID())
+	}
+	if fetch.Parent != c.SpanID() || phase.Parent != c.SpanID() {
+		t.Fatalf("children not linked to root: fetch %q phase %q", fetch.Parent, phase.Parent)
+	}
+}
+
+// TestWriteChromeTraceLanes pins the merged-export shape: one named process
+// per lane, spans on the lane's pid, metadata announcing the process name.
+func TestWriteChromeTraceLanes(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChromeTraceLanes(&buf, []Lane{
+		{Name: "client SOE", Spans: []Span{{TraceID: "t1", Name: "phase:eval", Start: time.Now(), Dur: time.Millisecond}}},
+		{Name: "untrusted server", Spans: []Span{{TraceID: "t1", Name: "server.fetch", Parent: "abc", Start: time.Now(), Dur: time.Millisecond}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not a JSON array: %v", err)
+	}
+	names := map[string]float64{} // process name -> pid
+	var evalPid, fetchPid float64
+	for _, ev := range events {
+		switch {
+		case ev["ph"] == "M" && ev["name"] == "process_name":
+			names[ev["args"].(map[string]any)["name"].(string)] = ev["pid"].(float64)
+		case ev["name"] == "phase:eval":
+			evalPid = ev["pid"].(float64)
+		case ev["name"] == "server.fetch":
+			fetchPid = ev["pid"].(float64)
+			if ev["args"].(map[string]any)["parent"] != "abc" {
+				t.Fatalf("server span lost its parent: %v", ev)
+			}
+		}
+	}
+	if names["client SOE"] != evalPid || names["untrusted server"] != fetchPid || evalPid == fetchPid {
+		t.Fatalf("lane/process mapping wrong: names=%v eval=%v fetch=%v", names, evalPid, fetchPid)
+	}
+}
+
 func TestRecorderDefaultsAndNil(t *testing.T) {
 	r := NewRecorder(0)
 	if len(r.buf) != DefaultRecorderCapacity {

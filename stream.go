@@ -95,7 +95,7 @@ func streamViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolicy, o
 	}
 	fw := &firstByteWriter{w: w, start: time.Now()}
 	coreOpts.Sink = xmlstream.NewViewSerializer(fw, opts.Indent)
-	_, metrics, err := runViewPipeline(src, key, cp, coreOpts)
+	_, metrics, err := runViewPipeline(opts.Context, src, key, cp, coreOpts)
 	if metrics != nil {
 		metrics.TimeToFirstByte = fw.ttfb
 	}

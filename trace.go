@@ -1,6 +1,9 @@
 package xmlac
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
 	"io"
 	"time"
 
@@ -46,6 +49,100 @@ func (t *Trace) WriteJSONL(w io.Writer, n int) error {
 		return nil
 	}
 	return t.rec.WriteJSONL(w, n)
+}
+
+// NewTraceID returns a fresh random trace ID (16 hex characters) fit for
+// ViewOptions.TraceID and for the X-Request-Id header: a remote client that
+// evaluates under a NewTraceID can fetch the server's side of the same
+// operation from GET /debug/trace?id= afterwards and merge the two span sets.
+func NewTraceID() string {
+	return itrace.NewSpanID()
+}
+
+// TraceSpan is one completed, timed unit of work retained by a Trace: trace
+// and span identity (TraceID groups one logical operation across trust
+// domains; Parent links a span under the evaluation that caused it), timing,
+// byte/chunk attributes and the recorder-assigned sequence number.
+type TraceSpan = itrace.Span
+
+// TraceFilter selects a subset of a Trace's retained spans: by trace ID, by
+// sequence number (spans recorded after Since), or the newest N.
+type TraceFilter = itrace.Filter
+
+// Spans returns the retained spans matching the filter, oldest first.
+func (t *Trace) Spans(f TraceFilter) []TraceSpan {
+	if t == nil {
+		return nil
+	}
+	return t.rec.Spans(f)
+}
+
+// RecordSpan appends one externally produced span to the ring — a server
+// records its request-handling spans here so they sit next to the evaluation
+// spans under the same trace IDs. The recorder assigns the sequence number.
+func (t *Trace) RecordSpan(s TraceSpan) {
+	if t == nil {
+		return
+	}
+	t.rec.Record(s)
+}
+
+// WriteJSONLFiltered writes the spans matching the filter (oldest first) as
+// one JSON object per line — the machinery behind GET /debug/trace's ?id=
+// and ?since= query parameters.
+func (t *Trace) WriteJSONLFiltered(w io.Writer, f TraceFilter) error {
+	if t == nil {
+		return nil
+	}
+	return t.rec.WriteJSONLFiltered(w, f)
+}
+
+// ParseTraceJSONL parses spans in the JSONL form written by WriteJSONL (and
+// served by GET /debug/trace), one JSON object per line, blank lines
+// ignored. This is how a client reads back the server-side spans of its own
+// trace before merging them into one Chrome trace.
+func ParseTraceJSONL(r io.Reader) ([]TraceSpan, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []TraceSpan
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var s TraceSpan
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("xmlac: trace JSONL line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("xmlac: reading trace JSONL: %w", err)
+	}
+	return out, nil
+}
+
+// TraceLane is one named process row of a merged Chrome trace: the span set
+// of one side of the trust boundary ("client SOE", "untrusted server").
+type TraceLane struct {
+	Name  string
+	Spans []TraceSpan
+}
+
+// WriteMergedChromeTrace writes several span sets as one Chrome trace-event
+// JSON array, each lane rendered as its own named process on a shared time
+// axis. A remote client passes its own spans as one lane and the server's
+// /debug/trace?id= spans as another, making a wire stall (a long server
+// fetch span under an idle client gap) visually distinguishable from a
+// decrypt stall (client phase time with the server idle).
+func WriteMergedChromeTrace(w io.Writer, lanes ...TraceLane) error {
+	conv := make([]itrace.Lane, len(lanes))
+	for i, l := range lanes {
+		conv[i] = itrace.Lane{Name: l.Name, Spans: l.Spans}
+	}
+	return itrace.WriteChromeTraceLanes(w, conv)
 }
 
 // WriteChromeTrace writes every retained span as a Chrome trace-event JSON

@@ -204,6 +204,7 @@
 package xmlac
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -567,6 +568,16 @@ type ViewOptions struct {
 	// TraceID labels the spans of this evaluation in the Trace (a server
 	// puts its request-scoped X-Request-Id here). Ignored when Trace is nil.
 	TraceID string
+	// Context, when non-nil, bounds the remote fetches of this evaluation:
+	// canceling it closes the in-flight HTTP range/hash/manifest requests of
+	// a remote document, so an abandoned view stops consuming the wire
+	// mid-request instead of at the next range boundary. The evaluation then
+	// fails with the transport's context error and, like any aborted stream,
+	// still reports its partial Metrics exactly once. Local evaluations have
+	// no wire to cut and ignore it (abort those through the output writer).
+	// Shared scans (AuthorizedViewsCompiled) ignore it too: the scan serves
+	// every subject, so no single request's context may cancel it.
+	Context context.Context
 }
 
 // Metrics summarizes what an evaluation did. Byte counts refer to the
