@@ -74,7 +74,7 @@ func ParseRule(id string, sign string, object string) (Rule, error) {
 	}
 	p, err := xpath.Parse(object)
 	if err != nil {
-		return Rule{}, fmt.Errorf("%w: %v", ErrInvalidRule, err)
+		return Rule{}, fmt.Errorf("%w: %w", ErrInvalidRule, err)
 	}
 	return Rule{ID: id, Sign: s, Object: p}, nil
 }

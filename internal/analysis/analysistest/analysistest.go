@@ -1,0 +1,224 @@
+// Package analysistest runs an analyzer over a golden package tree and
+// checks its diagnostics against // want comments, mirroring the x/tools
+// package of the same name. The testdata tree is copied into a temporary
+// module that `replace`s xmlac with this repository, so golden files can
+// import the real xmlac/internal packages (secure.Key, trace.Context, ...)
+// and the analyzer sees exactly the types it will meet in production —
+// all offline, with no dependencies beyond the Go toolchain.
+//
+// Layout: dir/src/<pkg>/... holds one package per directory; Run loads the
+// requested packages (import path "vettest/<pkg>"). A // want "regexp"
+// comment expects one diagnostic on its line whose message matches the
+// regexp; multiple quoted regexps expect multiple diagnostics. Files
+// without want comments are negative cases: any diagnostic in them fails
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xmlac/internal/analysis"
+)
+
+// Run loads dir/src/<pkg> for each pkg, runs the analyzer, and reports
+// mismatches between diagnostics and // want comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, pkgs ...string) {
+	t.Helper()
+	findings := runAnalyzer(t, a, dir, pkgs)
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, f := range findings {
+		got[key{f.Pos.Filename, f.Pos.Line}] = append(got[key{f.Pos.Filename, f.Pos.Line}], f.Message)
+	}
+
+	for _, pkg := range pkgs {
+		root := filepath.Join(dir, "src", pkg)
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel := filepath.Join(pkg, strings.TrimPrefix(path, root+string(os.PathSeparator)))
+			for i, line := range strings.Split(string(data), "\n") {
+				lineno := i + 1
+				k := key{rel, lineno}
+				wants, err := parseWant(line)
+				if err != nil {
+					t.Errorf("%s:%d: %v", rel, lineno, err)
+					continue
+				}
+				msgs := got[k]
+				delete(got, k)
+				for _, w := range wants {
+					rx, err := regexp.Compile(w)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", rel, lineno, w, err)
+						continue
+					}
+					found := -1
+					for j, m := range msgs {
+						if rx.MatchString(m) {
+							found = j
+							break
+						}
+					}
+					if found < 0 {
+						t.Errorf("%s:%d: no diagnostic matching %q (got %v)", rel, lineno, w, msgs)
+						continue
+					}
+					msgs = append(msgs[:found], msgs[found+1:]...)
+				}
+				for _, m := range msgs {
+					t.Errorf("%s:%d: unexpected diagnostic: %s", rel, lineno, m)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: diagnostic outside any scanned file: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// runAnalyzer builds the temp module, loads the packages and returns the
+// findings with filenames rewritten relative to the temp src root.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, dir string, pkgs []string) []analysis.Finding {
+	t.Helper()
+	repoRoot := moduleRoot(t)
+	tmp := t.TempDir()
+	gomod := fmt.Sprintf("module vettest\n\ngo 1.22\n\nrequire xmlac v0.0.0\n\nreplace xmlac => %s\n", repoRoot)
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srcRoot := filepath.Join(dir, "src")
+	if err := copyTree(srcRoot, tmp); err != nil {
+		t.Fatalf("copying testdata: %v", err)
+	}
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = "vettest/" + p
+	}
+	loaded, err := analysis.Load(tmp, patterns...)
+	if err != nil {
+		t.Fatalf("loading golden packages: %v", err)
+	}
+	// Load returns main-module dependencies too (a golden package may
+	// import a helper package); only the requested packages are under
+	// test.
+	requested := map[string]bool{}
+	for _, p := range patterns {
+		requested[p] = true
+	}
+	var target []*analysis.Package
+	for _, p := range loaded {
+		if requested[p.Path] {
+			target = append(target, p)
+		}
+	}
+	findings, err := analysis.Run(target, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	// The loader resolves the temp dir through symlinks (go list reports
+	// the real path); rewrite filenames relative to whatever prefix ends
+	// at the package dir.
+	for i := range findings {
+		name := findings[i].Pos.Filename
+		for _, p := range pkgs {
+			marker := string(os.PathSeparator) + p + string(os.PathSeparator)
+			if idx := strings.Index(name, marker); idx >= 0 {
+				findings[i].Pos.Filename = name[idx+1:]
+				break
+			}
+		}
+	}
+	return findings
+}
+
+// moduleRoot locates this repository's root via go env GOMOD.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatalf("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// copyTree copies the directory tree rooted at src into dst.
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
+// parseWant extracts the quoted regexps of a // want comment on a line.
+func parseWant(line string) ([]string, error) {
+	idx := strings.Index(line, "// want ")
+	if idx < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(line[idx+len("// want "):])
+	var wants []string
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("malformed want comment near %q (expected a quoted regexp)", rest)
+		}
+		end := 1
+		for end < len(rest) {
+			if rest[end] == quote && (quote == '`' || rest[end-1] != '\\') {
+				break
+			}
+			end++
+		}
+		if end == len(rest) {
+			return nil, fmt.Errorf("unterminated want regexp in %q", rest)
+		}
+		s, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %w", rest[:end+1], err)
+		}
+		wants = append(wants, s)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return wants, nil
+}

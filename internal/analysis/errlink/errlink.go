@@ -1,0 +1,196 @@
+// Package errlink checks that error chains survive wrapping: the exact bug
+// class of the PR 5 skipindex decoder, where a sentinel (remote.ErrChanged)
+// wrapped with %v instead of %w silently broke every errors.Is check
+// downstream and was only caught by a differential harness.
+//
+// Two diagnostics:
+//
+//   - an error-typed argument formatted by fmt.Errorf with any verb other
+//     than %w severs the chain;
+//   - comparing against a module sentinel error with == or != instead of
+//     errors.Is breaks as soon as anyone wraps it (stdlib sentinels like
+//     io.EOF are exempt: those are documented to be returned unwrapped).
+package errlink
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"xmlac/internal/analysis"
+)
+
+// New returns the errlink analyzer. modulePrefix restricts the errors.Is
+// check to sentinels defined in packages with that import-path prefix
+// ("xmlac" in production, the golden-test module in tests).
+func New(modulePrefix string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "errlink",
+		Doc:  "error values must be wrapped with %w and module sentinels compared with errors.Is",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, modulePrefix)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass, modulePrefix string) {
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n, errorType)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n, modulePrefix)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf flags error-typed arguments of fmt.Errorf formatted with a
+// verb other than %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, errorType *types.Interface) {
+	if !isPkgFunc(pass, call.Fun, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok || len(verbs) != len(call.Args)-1 {
+		// Explicit argument indexes or arg-count mismatch (go vet's
+		// printf pass owns those); don't guess.
+		return
+	}
+	for i, verb := range verbs {
+		arg := call.Args[i+1]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if verb != 'w' && types.Implements(tv.Type, errorType) {
+			pass.Reportf(arg.Pos(),
+				"error value formatted with %%%c severs the error chain: use %%w so errors.Is and errors.As see the wrapped error", verb)
+		}
+	}
+}
+
+// checkSentinelCompare flags ==/!= against module-defined exported
+// package-level error variables.
+func checkSentinelCompare(pass *analysis.Pass, b *ast.BinaryExpr, modulePrefix string) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		obj := sentinelVar(pass, side, modulePrefix)
+		if obj == nil {
+			continue
+		}
+		// x == ErrFoo where the other side is nil is a plain nil check of
+		// the variable itself, not a sentinel comparison.
+		other := b.Y
+		if side == b.Y {
+			other = b.X
+		}
+		if tv, ok := pass.TypesInfo.Types[other]; ok && tv.IsNil() {
+			continue
+		}
+		pass.Reportf(b.Pos(),
+			"comparing against sentinel %s with %s breaks once the error is wrapped: use errors.Is", obj.Name(), b.Op)
+		return
+	}
+}
+
+// sentinelVar returns the object when expr is a use of an exported
+// package-level error variable defined under modulePrefix.
+func sentinelVar(pass *analysis.Pass, expr ast.Expr, modulePrefix string) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !v.Exported() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() { // package-level only
+		return nil
+	}
+	if v.Pkg().Path() != modulePrefix && !strings.HasPrefix(v.Pkg().Path(), modulePrefix+"/") {
+		return nil
+	}
+	named, ok := v.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		// Only plain `error`-typed vars (errors.New / fmt.Errorf
+		// sentinels); typed errors compare structurally on purpose.
+		return nil
+	}
+	return v
+}
+
+// isPkgFunc reports whether fun resolves to pkgPath.name.
+func isPkgFunc(pass *analysis.Pass, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// constantString resolves expr to a constant string value.
+func constantString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}
+
+// formatVerbs returns the verb letter for each formatting argument of a
+// printf-style format string, in order. ok is false when the format uses
+// explicit argument indexes or * width/precision (which consume extra
+// arguments in ways this analyzer does not model).
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false // explicit index
+			}
+			if c == '*' {
+				return nil, false // * consumes an argument
+			}
+			if strings.IndexByte("+-# 0.0123456789", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}

@@ -1,0 +1,16 @@
+package errlink_test
+
+import (
+	"testing"
+
+	"xmlac/internal/analysis/analysistest"
+	"xmlac/internal/analysis/errlink"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, errlink.New("vettest"), "testdata", "a")
+}
+
+func TestCleanCode(t *testing.T) {
+	analysistest.Run(t, errlink.New("vettest"), "testdata", "clean")
+}

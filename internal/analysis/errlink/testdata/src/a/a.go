@@ -1,0 +1,48 @@
+// Package a seeds every diagnostic the errlink analyzer can emit.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBad is a module sentinel: wrapping it with anything but %w, or
+// comparing it with ==, breaks errors.Is downstream.
+var ErrBad = errors.New("a: bad")
+
+type parseError struct{ off int }
+
+func (e *parseError) Error() string { return fmt.Sprintf("parse error at %d", e.off) }
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("reading header: %v", err) // want `error value formatted with %v severs the error chain`
+}
+
+func wrapWithS(err error) error {
+	return fmt.Errorf("decoding body: %s", err) // want `error value formatted with %s severs the error chain`
+}
+
+func wrapSentinelTail(err error) error {
+	// The exact PR 5 shape: the outer sentinel is wrapped, the inner
+	// cause is not, so errors.Is(err, io.EOF) fails downstream.
+	return fmt.Errorf("%w: short read: %v", ErrBad, err) // want `error value formatted with %v severs the error chain`
+}
+
+func wrapConcrete(e *parseError) error {
+	return fmt.Errorf("giving up: %v", e) // want `error value formatted with %v severs the error chain`
+}
+
+func compareEq(err error) bool {
+	return err == ErrBad // want `comparing against sentinel ErrBad with == breaks once the error is wrapped`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrBad // want `comparing against sentinel ErrBad with != breaks once the error is wrapped`
+}
+
+// compareStdlib is NOT flagged: io.EOF is outside the module prefix and is
+// documented to be returned unwrapped.
+func compareStdlib(err error) bool {
+	return err == io.EOF
+}

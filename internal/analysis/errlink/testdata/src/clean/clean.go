@@ -1,0 +1,38 @@
+// Package clean is the negative case: idiomatic error handling that the
+// errlink analyzer must accept without a single diagnostic.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a module sentinel handled correctly throughout.
+var ErrGone = errors.New("clean: gone")
+
+func wrapWithW(err error) error {
+	return fmt.Errorf("reading header: %w", err)
+}
+
+func wrapTwoChains(err error) error {
+	return fmt.Errorf("%w: short read: %w", ErrGone, err)
+}
+
+func messageOnly(path string, size int) error {
+	return fmt.Errorf("file %s too large (%d bytes)", path, size)
+}
+
+func renderedString(err error) string {
+	// Formatting err.Error() (a plain string) is fine: the caller chose
+	// to render, not to wrap.
+	return fmt.Sprintf("warning: %s", err.Error())
+}
+
+func compareWithIs(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func nilChecks(err error) bool {
+	// Plain nil comparisons are not sentinel comparisons.
+	return err == nil || ErrGone == nil
+}

@@ -1,0 +1,336 @@
+// Package keytaint enforces the confidentiality half of the paper's trust
+// boundary at vet time: values of type secure.Key — and byte slices or
+// strings derived from one — must never flow into logging, error
+// construction, serialization, or any symbol of the untrusted server
+// packages. The server is untrusted *by construction* only while no code
+// path can ever render or ship key material; a single slog call with a key
+// argument would silently break the security model without failing a test.
+//
+// The check is an intraprocedural taint analysis over the AST: any
+// expression whose static type is a configured key type seeds taint, a
+// small set of propagators (assignment, conversion, slicing, append/copy,
+// fmt.Sprint*, hex/base64 encoding) spreads it, and a diagnostic fires
+// when a tainted value reaches a sink call. Unknown calls do not taint
+// their results, so the analysis under-approximates rather than drowning
+// the build in false positives.
+package keytaint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xmlac/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// KeyTypes are fully-qualified named types ("pkgpath.Type") whose
+	// values carry key material.
+	KeyTypes []string
+	// ServerPrefixes are import-path prefixes of the untrusted surface:
+	// calls from outside into any symbol there with a tainted argument are
+	// sinks.
+	ServerPrefixes []string
+}
+
+// DefaultConfig covers the module's key type and server surface.
+func DefaultConfig() Config {
+	return Config{
+		KeyTypes:       []string{"xmlac/internal/secure.Key"},
+		ServerPrefixes: []string{"xmlac/internal/server"},
+	}
+}
+
+// New returns the keytaint analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	if len(cfg.KeyTypes) == 0 {
+		cfg = DefaultConfig()
+	}
+	return &analysis.Analyzer{
+		Name: "keytaint",
+		Doc:  "secure.Key values and derived bytes must not reach logs, errors, serialization, or the server",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, cfg)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) {
+	c := &checker{pass: pass, cfg: cfg, keyTypes: map[string]bool{}}
+	for _, t := range cfg.KeyTypes {
+		c.keyTypes[t] = true
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				c.checkFunc(fn.Body)
+			}
+		}
+	}
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	cfg      Config
+	keyTypes map[string]bool
+	tainted  map[types.Object]bool
+}
+
+// checkFunc runs the fixed-point taint propagation over one function body
+// (closures included: they share the outer function's taint set, matching
+// how they share its variables) and then reports sink hits.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	c.tainted = map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if c.exprTainted(rhs) {
+							changed = c.markIdent(n.Lhs[i]) || changed
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i, v := range n.Values {
+						if c.exprTainted(v) {
+							obj := c.pass.TypesInfo.Defs[n.Names[i]]
+							if obj != nil && !c.tainted[obj] {
+								c.tainted[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if c.exprTainted(n.X) && n.Value != nil {
+					changed = c.markIdent(n.Value) || changed
+				}
+			case *ast.CallExpr:
+				// copy(dst, src) with a tainted source taints dst.
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "copy" &&
+					len(n.Args) == 2 && c.exprTainted(n.Args[1]) {
+					changed = c.markIdent(n.Args[0]) || changed
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sink := c.sinkName(call)
+		if sink == "" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if c.exprTainted(arg) {
+				c.pass.Reportf(arg.Pos(),
+					"value derived from a secure key reaches %s: key material must never be logged, serialized, put into errors, or cross the untrusted-server boundary", sink)
+			}
+		}
+		return true
+	})
+}
+
+// markIdent taints the object behind an identifier expression, reporting
+// whether anything changed.
+func (c *checker) markIdent(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || c.tainted[obj] {
+		return false
+	}
+	c.tainted[obj] = true
+	return true
+}
+
+// exprTainted reports whether an expression carries key material.
+func (c *checker) exprTainted(expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	if tv, ok := c.pass.TypesInfo.Types[expr]; ok && c.isKeyType(tv.Type) {
+		return true
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[e]
+		}
+		return obj != nil && c.tainted[obj]
+	case *ast.SelectorExpr:
+		// A field of a tainted composite is tainted.
+		return c.exprTainted(e.X)
+	case *ast.IndexExpr:
+		return c.exprTainted(e.X)
+	case *ast.SliceExpr:
+		return c.exprTainted(e.X)
+	case *ast.StarExpr:
+		return c.exprTainted(e.X)
+	case *ast.UnaryExpr:
+		return c.exprTainted(e.X)
+	case *ast.BinaryExpr:
+		// String concatenation carries taint; comparisons do not.
+		if e.Op.IsOperator() && e.Op.String() == "+" {
+			return c.exprTainted(e.X) || c.exprTainted(e.Y)
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if c.exprTainted(kv.Value) {
+					return true
+				}
+				continue
+			}
+			if c.exprTainted(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// Conversions propagate ([]byte(key), string(key), Key(b)).
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return len(e.Args) == 1 && c.exprTainted(e.Args[0])
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			for _, a := range e.Args {
+				if c.exprTainted(a) {
+					return true
+				}
+			}
+			return false
+		}
+		if c.isPropagator(e) {
+			for _, a := range e.Args {
+				if c.exprTainted(a) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isKeyType reports whether t (or its pointer/slice element) is a
+// configured key type.
+func (c *checker) isKeyType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return c.keyTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// isPropagator recognizes calls whose result carries their arguments'
+// taint: formatting and encoding helpers.
+func (c *checker) isPropagator(call *ast.CallExpr) bool {
+	obj := calleeFunc(c.pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "fmt":
+		switch obj.Name() {
+		case "Sprint", "Sprintf", "Sprintln", "Appendf", "Append", "Appendln":
+			return true
+		}
+	case "encoding/hex":
+		return obj.Name() == "EncodeToString" || obj.Name() == "AppendEncode"
+	case "encoding/base64", "encoding/base32":
+		return obj.Name() == "EncodeToString" || obj.Name() == "AppendEncode"
+	case "bytes", "slices":
+		return obj.Name() == "Clone" || obj.Name() == "Join" || obj.Name() == "Concat"
+	case "strings":
+		return obj.Name() == "Join" || obj.Name() == "Clone"
+	}
+	return false
+}
+
+// sinkName classifies a call as a sink, returning a human-readable symbol
+// name ("" when not a sink).
+func (c *checker) sinkName(call *ast.CallExpr) string {
+	obj := calleeFunc(c.pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg, name := obj.Pkg().Path(), obj.Name()
+	qualified := pkg + "." + name
+	switch pkg {
+	case "fmt":
+		switch name {
+		case "Errorf", "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return qualified
+		}
+	case "errors":
+		if name == "New" {
+			return qualified
+		}
+	case "log", "log/slog":
+		return qualified // every symbol there renders its arguments
+	case "encoding/json", "encoding/xml":
+		switch name {
+		case "Marshal", "MarshalIndent", "Encode":
+			return qualified
+		}
+	case "encoding/gob":
+		if name == "Encode" {
+			return qualified
+		}
+	case "encoding/binary":
+		if name == "Write" || name == "Append" {
+			return qualified
+		}
+	}
+	for _, prefix := range c.cfg.ServerPrefixes {
+		if !underPrefix(pkg, prefix) {
+			continue
+		}
+		// Calls within the server surface itself are the trustboundary
+		// analyzer's concern.
+		if underPrefix(c.pass.Pkg.Path(), prefix) {
+			continue
+		}
+		return qualified + " (untrusted server surface)"
+	}
+	return ""
+}
+
+func underPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// calleeFunc resolves the called function or method object.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}

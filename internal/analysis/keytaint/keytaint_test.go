@@ -1,0 +1,25 @@
+package keytaint_test
+
+import (
+	"testing"
+
+	"xmlac/internal/analysis/analysistest"
+	"xmlac/internal/analysis/keytaint"
+)
+
+// testConfig covers the real module's names plus the vettest mimics used by
+// the golden packages (internal packages cannot be imported from there).
+func testConfig() keytaint.Config {
+	return keytaint.Config{
+		KeyTypes:       []string{"xmlac/internal/secure.Key", "vettest/secure.Key"},
+		ServerPrefixes: []string{"xmlac/internal/server", "vettest/server"},
+	}
+}
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, keytaint.New(testConfig()), "testdata", "a")
+}
+
+func TestCleanUsage(t *testing.T) {
+	analysistest.Run(t, keytaint.New(testConfig()), "testdata", "clean")
+}

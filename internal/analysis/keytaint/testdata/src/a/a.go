@@ -1,0 +1,58 @@
+// Package a seeds the keytaint diagnostics: every way key material could
+// leak into logs, errors, serialization, or the server surface.
+package a
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"log/slog"
+
+	"vettest/secure"
+	"vettest/server"
+)
+
+func logKeyDirectly(key secure.Key) {
+	log.Printf("using key %x", key) // want `value derived from a secure key reaches log\.Printf`
+}
+
+func keyInError(key secure.Key) error {
+	return fmt.Errorf("decrypt failed with key %x", key) // want `value derived from a secure key reaches fmt\.Errorf`
+}
+
+func slogKey(key secure.Key) {
+	slog.Info("session established", "key", key) // want `value derived from a secure key reaches log/slog\.Info`
+}
+
+func hexThroughVariable(key secure.Key) {
+	dump := hex.EncodeToString(key)
+	fmt.Println("key dump:", dump) // want `value derived from a secure key reaches fmt\.Println`
+}
+
+func convertedAndMarshalled(key secure.Key) ([]byte, error) {
+	raw := []byte(key)
+	return json.Marshal(raw) // want `value derived from a secure key reaches encoding/json\.Marshal`
+}
+
+func keyToServer(key secure.Key, docID string) {
+	server.Register(docID, key) // want `value derived from a secure key reaches vettest/server\.Register \(untrusted server surface\)`
+}
+
+func concatIntoError(key secure.Key) error {
+	msg := "unlock failed for " + string(key)
+	return errors.New(msg) // want `value derived from a secure key reaches errors\.New`
+}
+
+func derivedSliceLeaks(pass string) {
+	key := secure.Derive(pass)
+	prefix := key[:4]
+	fmt.Printf("key prefix %x\n", prefix) // want `value derived from a secure key reaches fmt\.Printf`
+}
+
+func copiedKeyLeaks(key secure.Key) {
+	buf := make([]byte, len(key))
+	copy(buf, key)
+	log.Println(buf) // want `value derived from a secure key reaches log\.Println`
+}

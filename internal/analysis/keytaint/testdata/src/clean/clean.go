@@ -1,0 +1,54 @@
+// Package clean is the negative case: legitimate key handling the analyzer
+// must accept — using keys for crypto, reporting sizes and errors without
+// the material itself, and talking to the server with public data only.
+package clean
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"log"
+
+	"vettest/secure"
+	"vettest/server"
+)
+
+func lengthInError(key secure.Key) error {
+	if len(key) != 16 {
+		return fmt.Errorf("key must be 16 bytes, got %d", len(key))
+	}
+	return nil
+}
+
+func logKeyLength(key secure.Key) {
+	log.Printf("loaded a %d-byte key", len(key))
+}
+
+func useKeyForCrypto(key secure.Key, chunk []byte) []byte {
+	out := seal(key, chunk)
+	return out
+}
+
+func hashedFingerprintIsPublic(key secure.Key) {
+	sum := sha256.Sum256(key)
+	// A one-way digest of the key is not the key: fingerprints are how
+	// deployments identify keys in logs without revealing them.
+	log.Printf("key fingerprint %s", hex.EncodeToString(sum[:]))
+}
+
+func publicDataToServer(docID string) []byte {
+	return server.Fetch(docID)
+}
+
+func ciphertextToServer(key secure.Key, docID string, chunk []byte) {
+	sealed := seal(key, chunk)
+	server.Register(docID, sealed)
+}
+
+func seal(key secure.Key, plain []byte) []byte {
+	out := make([]byte, len(plain))
+	for i, b := range plain {
+		out[i] = b ^ key[i%len(key)]
+	}
+	return out
+}

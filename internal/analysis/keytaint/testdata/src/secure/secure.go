@@ -1,0 +1,16 @@
+// Package secure mirrors xmlac/internal/secure for the golden tests (the
+// real package is internal to the xmlac module; the analyzer is configured
+// with both type names).
+package secure
+
+// Key is the mimic of secure.Key: a symmetric key as raw bytes.
+type Key []byte
+
+// Derive stands in for the real key-derivation entry point.
+func Derive(passphrase string) Key {
+	k := make(Key, 16)
+	for i := range k {
+		k[i] = byte(len(passphrase) + i)
+	}
+	return k
+}

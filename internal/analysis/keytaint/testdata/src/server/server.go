@@ -1,0 +1,9 @@
+// Package server mirrors xmlac/internal/server: the untrusted surface that
+// must never receive key material.
+package server
+
+// Register stands in for any server entry point.
+func Register(docID string, payload []byte) {}
+
+// Fetch stands in for a benign server call.
+func Fetch(docID string) []byte { return nil }

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// Package is one loaded, parsed and type-checked package of the target
+// module.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// ModuleDir is the root directory of the module the package belongs
+	// to (used to print module-relative paths and match baseline entries).
+	ModuleDir string
+	// GoFiles are the non-test Go source files (absolute paths).
+	GoFiles []string
+	// Imports are the direct import paths.
+	Imports []string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct {
+		Path string
+		Dir  string
+		Main bool
+	}
+}
+
+// Load loads, parses and type-checks the main-module packages matched by
+// patterns (plus everything they depend on, for type information), running
+// the go tool from dir. It returns the main-module packages in dependency
+// order. The loader shells out to `go list -deps -export -json`, so
+// dependency type information comes from compiler export data in the build
+// cache — no network, no external modules, and test files are excluded by
+// construction.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %v: %w\n%s", args, err, stderr.Bytes())
+	}
+
+	var metas []*listPackage
+	byPath := map[string]*listPackage{}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var m listPackage
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		meta := m
+		metas = append(metas, &meta)
+		byPath[meta.ImportPath] = &meta
+	}
+
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{}
+	imp := &moduleImporter{
+		checked: checked,
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			meta, ok := byPath[path]
+			if !ok || meta.Export == "" {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(meta.Export)
+		}),
+	}
+
+	var out []*Package
+	for _, meta := range metas {
+		if meta.Standard || meta.Module == nil {
+			continue
+		}
+		files := make([]*ast.File, 0, len(meta.GoFiles))
+		goFiles := make([]string, 0, len(meta.GoFiles))
+		for _, name := range meta.GoFiles {
+			full := name
+			if !os.IsPathSeparator(name[0]) {
+				full = meta.Dir + string(os.PathSeparator) + name
+			}
+			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", full, err)
+			}
+			files = append(files, f)
+			goFiles = append(goFiles, full)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		var typeErr error
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if typeErr == nil {
+					typeErr = err
+				}
+			},
+		}
+		tpkg, err := conf.Check(meta.ImportPath, fset, files, info)
+		if err != nil && typeErr != nil {
+			err = typeErr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", meta.ImportPath, err)
+		}
+		checked[meta.ImportPath] = tpkg
+		if !meta.Module.Main {
+			continue
+		}
+		out = append(out, &Package{
+			Path:      meta.ImportPath,
+			Dir:       meta.Dir,
+			ModuleDir: meta.Module.Dir,
+			GoFiles:   goFiles,
+			Imports:   meta.Imports,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			Info:      info,
+		})
+	}
+	return out, nil
+}
+
+// moduleImporter resolves module packages from the already-type-checked
+// set (go list -deps emits dependencies first, so they are always present)
+// and everything else from compiler export data.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return m.gc.Import(path)
+}

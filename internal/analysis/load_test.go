@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestLoadModule loads this module and checks the loader produces parsed,
+// type-checked packages in dependency order with working type information
+// across package boundaries (the property every analyzer relies on).
+func TestLoadModule(t *testing.T) {
+	pkgs, err := Load(".", "xmlac/internal/trace", "xmlac/internal/secure")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	tr, ok := byPath["xmlac/internal/trace"]
+	if !ok {
+		t.Fatalf("xmlac/internal/trace not loaded; got %v", keys(byPath))
+	}
+	if tr.Types.Scope().Lookup("Context") == nil {
+		t.Errorf("trace.Context not found in type info")
+	}
+	sec, ok := byPath["xmlac/internal/secure"]
+	if !ok {
+		t.Fatalf("xmlac/internal/secure not loaded; got %v", keys(byPath))
+	}
+	if sec.Types.Scope().Lookup("Key") == nil {
+		t.Errorf("secure.Key not found in type info")
+	}
+	// Type info must be populated: every package-scope object has a
+	// position inside one of the parsed files.
+	if len(sec.Info.Defs) == 0 || len(sec.Info.Uses) == 0 {
+		t.Errorf("type info maps empty: Defs=%d Uses=%d", len(sec.Info.Defs), len(sec.Info.Uses))
+	}
+	if pos := sec.Fset.Position(sec.Types.Scope().Lookup("Key").Pos()); pos == (token.Position{}) {
+		t.Errorf("secure.Key has no position")
+	}
+}
+
+func keys(m map[string]*Package) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

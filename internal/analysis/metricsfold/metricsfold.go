@@ -1,0 +1,194 @@
+// Package metricsfold turns the Metrics.Add reflection test into a
+// compile-time check: every accumulator method of the shape
+//
+//	func (m *T) Add(o *T) // or Add(o T)
+//
+// on a struct type T must fold every field of T — a counter added to the
+// struct without extending Add (as Metrics.BytesOnWire once was) is
+// silently dropped by every aggregator. A field counts as folded when one
+// statement of the body both writes recv.F (assignment or method call on
+// the field, e.g. m.F += o.F or m.F.Add(&o.F)) and reads param.F; nested
+// accumulators (Metrics.PhaseBreakdown) are covered transitively because
+// their own Add methods match the same shape and are checked wherever they
+// live.
+package metricsfold
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xmlac/internal/analysis"
+)
+
+// New returns the metricsfold analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "metricsfold",
+		Doc:  "accumulator Add methods must fold every field of their struct",
+		Run: func(pass *analysis.Pass) error {
+			run(pass)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Add" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			checkAdd(pass, fn)
+		}
+	}
+}
+
+func checkAdd(pass *analysis.Pass, fn *ast.FuncDecl) {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil || sig.Params().Len() != 1 {
+		return
+	}
+	recvNamed, st := namedStruct(recv.Type())
+	if recvNamed == nil {
+		return
+	}
+	paramNamed, _ := namedStruct(sig.Params().At(0).Type())
+	if paramNamed != recvNamed {
+		return // Add of something else (accessrule.Policy.Add appends a Rule)
+	}
+	recvVar, paramVar := receiverObj(pass, fn), paramObj(pass, fn)
+	if recvVar == nil || paramVar == nil {
+		return
+	}
+
+	folded := map[string]bool{}
+	for _, stmt := range fn.Body.List {
+		writes := map[string]bool{}
+		reads := map[string]bool{}
+		collectFieldUses(pass, stmt, recvVar, paramVar, writes, reads)
+		for f := range writes {
+			if reads[f] {
+				folded[f] = true
+			}
+		}
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !folded[f.Name()] {
+			pass.Reportf(fn.Name.Pos(),
+				"%s.Add does not fold field %s: aggregators will silently drop it", recvNamed.Obj().Name(), f.Name())
+		}
+	}
+}
+
+// collectFieldUses records, for one statement, which first-level fields of
+// the receiver are written (assigned to, or used as the receiver of a
+// method call) and which fields of the parameter are read.
+func collectFieldUses(pass *analysis.Pass, stmt ast.Stmt, recvVar, paramVar types.Object, writes, reads map[string]bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f := baseField(pass, lhs, recvVar); f != "" {
+					writes[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			// m.F.Add(...) — a method call whose receiver chain roots at
+			// the receiver counts as a write to the base field.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if f := baseField(pass, sel.X, recvVar); f != "" {
+					writes[f] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if f := baseField(pass, n, paramVar); f != "" {
+				reads[f] = true
+			}
+		}
+		return true
+	})
+}
+
+// baseField returns the first-level field name when expr is a selector
+// chain rooted at root (root.F, root.F.G, (&root.F), *root.F ...).
+func baseField(pass *analysis.Pass, expr ast.Expr, root types.Object) string {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == root {
+				return e.Sel.Name
+			}
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return ""
+		}
+	}
+}
+
+// namedStruct strips pointers and returns the named struct type, if any.
+func namedStruct(t types.Type) (*types.Named, *types.Struct) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+func receiverObj(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+}
+
+func paramObj(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[params.List[0].Names[0]]
+}
+
+// LeafFields returns the leaf field paths of a struct type, recursing into
+// struct-typed fields the same way the root reflection test
+// (TestMetricsAddFoldsEveryField) does. The root metrics test asserts this
+// enumeration and the reflect-based one agree, so the analyzer's view of
+// Metrics and the runtime's cannot rot independently.
+func LeafFields(t types.Type) []string {
+	var out []string
+	var walk func(st *types.Struct, prefix string)
+	walk = func(st *types.Struct, prefix string) {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if sub, ok := f.Type().Underlying().(*types.Struct); ok {
+				walk(sub, prefix+f.Name()+".")
+				continue
+			}
+			out = append(out, prefix+f.Name())
+		}
+	}
+	if st, ok := t.Underlying().(*types.Struct); ok {
+		walk(st, "")
+	}
+	return out
+}

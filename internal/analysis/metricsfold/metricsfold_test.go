@@ -1,0 +1,16 @@
+package metricsfold_test
+
+import (
+	"testing"
+
+	"xmlac/internal/analysis/analysistest"
+	"xmlac/internal/analysis/metricsfold"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, metricsfold.New(), "testdata", "a")
+}
+
+func TestCleanCode(t *testing.T) {
+	analysistest.Run(t, metricsfold.New(), "testdata", "clean")
+}

@@ -1,0 +1,38 @@
+// Package a seeds the metricsfold diagnostics: accumulators whose Add
+// methods drop fields.
+package a
+
+// Stats drops B (the classic forgotten-counter bug) — and folding the
+// nested Sub through its own incomplete Add does not excuse Sub's bug.
+type Stats struct {
+	A   int64
+	B   int64
+	Sub Nested
+}
+
+func (m *Stats) Add(o *Stats) { // want `Stats.Add does not fold field B`
+	m.A += o.A
+	m.Sub.Add(&o.Sub)
+}
+
+// Nested folds X but not Y.
+type Nested struct {
+	X int64
+	Y int64
+}
+
+func (m *Nested) Add(o *Nested) { // want `Nested.Add does not fold field Y`
+	m.X += o.X
+}
+
+// Cross folds B twice and A never: the copy-paste cross-fold must be
+// caught, not credited to A.
+type Cross struct {
+	A int64
+	B int64
+}
+
+func (m *Cross) Add(o *Cross) { // want `Cross.Add does not fold field A`
+	m.A += o.B
+	m.B += o.B
+}

@@ -1,0 +1,484 @@
+// Package phasepair proves two invariants of the tracing layer:
+//
+//  1. Every trace.Context phase Begin has a matching End on every return
+//     path. An unpaired Begin corrupts the exclusive-time phase stack for
+//     the rest of the evaluation — all later time is charged to the wrong
+//     phase — and, unlike a panic, never crashes, so only a vet-time check
+//     catches it reliably.
+//
+//  2. The configured trace types stay nil-receiver-safe: the disabled
+//     pipeline threads a nil *trace.Context through every layer, so every
+//     exported method must use a pointer receiver and begin with a
+//     nil-receiver guard.
+//
+// The pairing check is a structural walk, not a full CFG: along every
+// statement path it tracks how many phases are open and how many deferred
+// Ends are registered, requiring branches that rejoin to agree and
+// returns to leave no phase uncovered. Functions using goto are skipped
+// (none in this module).
+package phasepair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"xmlac/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// ContextTypes are fully-qualified names ("pkgpath.Type") of phase
+	// trace context types: Begin/End pairing is enforced on their methods'
+	// call sites, and nil-receiver safety on their method declarations.
+	ContextTypes []string
+}
+
+// DefaultConfig covers the module's tracing core.
+func DefaultConfig() Config {
+	return Config{ContextTypes: []string{"xmlac/internal/trace.Context"}}
+}
+
+// New returns the phasepair analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	if len(cfg.ContextTypes) == 0 {
+		cfg = DefaultConfig()
+	}
+	return &analysis.Analyzer{
+		Name: "phasepair",
+		Doc:  "trace phase Begins must pair with Ends on all paths; trace types must stay nil-receiver-safe",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, cfg)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) {
+	ctxTypes := map[string]bool{}
+	for _, t := range cfg.ContextTypes {
+		ctxTypes[t] = true
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn.Recv != nil {
+				checkNilSafety(pass, fn, ctxTypes)
+			}
+			if fn.Body != nil {
+				checkFunc(pass, fn.Body, ctxTypes)
+			}
+		}
+	}
+}
+
+// --- pairing ---
+
+type pairWalker struct {
+	pass     *analysis.Pass
+	ctxTypes map[string]bool
+	// loopOpens is the stack of open-phase counts at entry of each
+	// enclosing loop; break/continue must not carry extra open phases out
+	// of or around the loop body.
+	loopOpens []int
+	bail      bool // goto seen: give up on this function
+}
+
+// checkFunc analyzes one function body (FuncDecl or FuncLit).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, ctxTypes map[string]bool) {
+	w := &pairWalker{pass: pass, ctxTypes: ctxTypes}
+	opens, defers, terminated := w.walkStmts(body.List, 0, 0)
+	if w.bail {
+		return
+	}
+	if !terminated && opens > defers {
+		pass.Reportf(body.Rbrace,
+			"function ends with %d trace phase(s) still open: Begin without a matching End", opens-defers)
+	}
+}
+
+// walkStmts walks a statement list, returning the open-phase and
+// deferred-End counts at its end and whether the list always terminates
+// (return/panic) before falling through.
+func (w *pairWalker) walkStmts(stmts []ast.Stmt, opens, defers int) (int, int, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		opens, defers, terminated = w.walkStmt(stmt, opens, defers)
+		if w.bail {
+			return opens, defers, false
+		}
+		if terminated {
+			return opens, defers, true
+		}
+	}
+	return opens, defers, false
+}
+
+func (w *pairWalker) walkStmt(stmt ast.Stmt, opens, defers int) (int, int, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.scanFuncLits(s.X)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			switch {
+			case w.isPhaseCall(call, "Begin"):
+				return opens + 1, defers, false
+			case w.isPhaseCall(call, "End"):
+				if opens == 0 && defers == 0 {
+					w.pass.Reportf(call.Pos(), "End without a matching Begin on this path")
+					return opens, defers, false
+				}
+				if opens == 0 {
+					// End after only deferred Ends: the deferred End will
+					// pop a phase this path never began.
+					w.pass.Reportf(call.Pos(), "End already covered by a deferred End on this path")
+					return opens, defers, false
+				}
+				return opens - 1, defers, false
+			case isTerminatorCall(w.pass, call):
+				return opens, defers, true
+			}
+		}
+		return opens, defers, false
+	case *ast.DeferStmt:
+		if w.isPhaseCall(s.Call, "End") {
+			return opens, defers + 1, false
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// A deferred closure's End calls close phases of the enclosing
+			// function, so they count as deferred Ends here and the body
+			// is not re-checked as an independent function.
+			return opens, defers + w.countEnds(lit.Body), false
+		}
+		w.scanFuncLits(s.Call)
+		return opens, defers, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanFuncLits(r)
+		}
+		if opens > defers {
+			w.pass.Reportf(s.Pos(),
+				"return leaves %d trace phase(s) open: Begin without End on this path", opens-defers)
+		}
+		return opens, defers, true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			w.bail = true
+		case token.BREAK, token.CONTINUE:
+			if n := len(w.loopOpens); n > 0 && opens != w.loopOpens[n-1] {
+				w.pass.Reportf(s.Pos(),
+					"%s leaves %d trace phase(s) open relative to loop entry", s.Tok, opens-w.loopOpens[n-1])
+			}
+		}
+		return opens, defers, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, opens, defers)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			opens, defers, _ = w.walkStmt(s.Init, opens, defers)
+		}
+		w.scanFuncLits(s.Cond)
+		branches := [][2]int{}
+		bodyOpens, bodyDefers, bodyTerm := w.walkStmts(s.Body.List, opens, defers)
+		if !bodyTerm {
+			branches = append(branches, [2]int{bodyOpens, bodyDefers})
+		}
+		if s.Else != nil {
+			elseOpens, elseDefers, elseTerm := w.walkStmt(s.Else, opens, defers)
+			if !elseTerm {
+				branches = append(branches, [2]int{elseOpens, elseDefers})
+			}
+		} else {
+			branches = append(branches, [2]int{opens, defers})
+		}
+		return w.join(s.Pos(), branches, opens, defers)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			opens, defers, _ = w.walkStmt(s.Init, opens, defers)
+		}
+		w.walkLoopBody(s.Body, opens, defers)
+		return opens, defers, false
+	case *ast.RangeStmt:
+		w.scanFuncLits(s.X)
+		w.walkLoopBody(s.Body, opens, defers)
+		return opens, defers, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(stmt, opens, defers)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, opens, defers)
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			checkFunc(w.pass, lit.Body, w.ctxTypes)
+		}
+		w.scanFuncLits(s.Call)
+		return opens, defers, false
+	default:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(w.pass, lit.Body, w.ctxTypes)
+				return false
+			}
+			return true
+		})
+		return opens, defers, false
+	}
+}
+
+// walkLoopBody checks that one loop iteration is balanced.
+func (w *pairWalker) walkLoopBody(body *ast.BlockStmt, opens, defers int) {
+	w.loopOpens = append(w.loopOpens, opens)
+	endOpens, _, term := w.walkStmts(body.List, opens, defers)
+	w.loopOpens = w.loopOpens[:len(w.loopOpens)-1]
+	if w.bail || term {
+		return
+	}
+	if endOpens != opens {
+		w.pass.Reportf(body.Pos(),
+			"loop body changes the number of open trace phases by %d per iteration", endOpens-opens)
+	}
+}
+
+// walkCases joins the clause bodies of a switch/type-switch/select.
+func (w *pairWalker) walkCases(stmt ast.Stmt, opens, defers int) (int, int, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			opens, defers, _ = w.walkStmt(s.Init, opens, defers)
+		}
+		w.scanFuncLits(s.Tag)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			opens, defers, _ = w.walkStmt(s.Init, opens, defers)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	branches := [][2]int{}
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				opens, defers, _ = w.walkStmt(c.Comm, opens, defers)
+			}
+			stmts = c.Body
+		}
+		o, d, term := w.walkStmts(stmts, opens, defers)
+		if !term {
+			branches = append(branches, [2]int{o, d})
+		}
+	}
+	if _, isSelect := stmt.(*ast.SelectStmt); !hasDefault && !isSelect {
+		branches = append(branches, [2]int{opens, defers})
+	}
+	return w.join(stmt.Pos(), branches, opens, defers)
+}
+
+// join reconciles the non-terminating branches of a control-flow fork: all
+// must agree on the open/deferred counts, or the phase stack depends on
+// which branch ran.
+func (w *pairWalker) join(pos token.Pos, branches [][2]int, opens, defers int) (int, int, bool) {
+	if len(branches) == 0 {
+		return opens, defers, true // every branch returned
+	}
+	first := branches[0]
+	for _, b := range branches[1:] {
+		if b != first {
+			w.pass.Reportf(pos,
+				"trace phase balance differs across branches (one path leaves a Begin/End unpaired)")
+			// Resume from the fork-entry counts so one imbalance does not
+			// cascade into follow-on diagnostics.
+			return opens, defers, false
+		}
+	}
+	return first[0], first[1], false
+}
+
+// countEnds counts End calls on context types inside a deferred closure.
+func (w *pairWalker) countEnds(body *ast.BlockStmt) int {
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok && w.isPhaseCall(call, "End") {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// scanFuncLits checks function literals nested in an expression as
+// independent functions.
+func (w *pairWalker) scanFuncLits(expr ast.Expr) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(w.pass, lit.Body, w.ctxTypes)
+			return false
+		}
+		return true
+	})
+}
+
+// isPhaseCall reports whether call is recv.<name>(...) on a configured
+// context type.
+func (w *pairWalker) isPhaseCall(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return w.ctxTypes[qualifiedTypeName(sig.Recv().Type())]
+}
+
+// isTerminatorCall recognizes calls that never return: panic and the
+// conventional fatal exits.
+func isTerminatorCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() + "." + obj.Name() {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// --- nil-receiver safety ---
+
+// checkNilSafety enforces, for methods of configured context types defined
+// in the analyzed package: exported methods use a pointer receiver and
+// begin with a nil-receiver guard.
+func checkNilSafety(pass *analysis.Pass, fn *ast.FuncDecl, ctxTypes map[string]bool) {
+	if !fn.Name.IsExported() || fn.Body == nil {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return
+	}
+	recvType := recv.Type()
+	ptr, isPtr := recvType.(*types.Pointer)
+	base := recvType
+	if isPtr {
+		base = ptr.Elem()
+	}
+	if !ctxTypes[qualifiedTypeName(base)] {
+		return
+	}
+	if !isPtr {
+		pass.Reportf(fn.Name.Pos(),
+			"exported method %s of nil-safe type %s must use a pointer receiver (a value receiver panics on the nil *%s the disabled pipeline threads through)",
+			fn.Name.Name, typeName(base), typeName(base))
+		return
+	}
+	if len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		// Unnamed receiver: the body cannot dereference it.
+		return
+	}
+	recvName := fn.Recv.List[0].Names[0].Name
+	if recvName == "_" || hasNilGuard(fn.Body, recvName) {
+		return
+	}
+	pass.Reportf(fn.Name.Pos(),
+		"exported method %s of nil-safe type %s must begin with a nil-receiver guard (if %s == nil { return ... })",
+		fn.Name.Name, typeName(base), recvName)
+}
+
+// hasNilGuard reports whether the body's first statement is an if whose
+// condition contains `recv == nil` and whose body returns.
+func hasNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return true // empty body cannot dereference
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || !condChecksNil(ifStmt.Cond, recvName) {
+		return false
+	}
+	n := len(ifStmt.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, isReturn := ifStmt.Body.List[n-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condChecksNil looks for `recv == nil` anywhere in a (possibly ||-joined)
+// condition.
+func condChecksNil(cond ast.Expr, recvName string) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if b.Op == token.LOR {
+		return condChecksNil(b.X, recvName) || condChecksNil(b.Y, recvName)
+	}
+	if b.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(b.X) && isNil(b.Y)) || (isRecv(b.Y) && isNil(b.X))
+}
+
+// qualifiedTypeName renders "pkgpath.Type" for a (possibly pointer) named
+// type.
+func qualifiedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// typeName is the bare type name of a qualified type.
+func typeName(t types.Type) string {
+	q := qualifiedTypeName(t)
+	if i := strings.LastIndex(q, "."); i >= 0 {
+		return q[i+1:]
+	}
+	return q
+}

@@ -1,0 +1,27 @@
+package phasepair_test
+
+import (
+	"testing"
+
+	"xmlac/internal/analysis/analysistest"
+	"xmlac/internal/analysis/phasepair"
+)
+
+func testConfig() phasepair.Config {
+	return phasepair.Config{ContextTypes: []string{
+		"xmlac/internal/trace.Context",
+		"vettest/trace.Context",
+	}}
+}
+
+func TestSeededPairingViolations(t *testing.T) {
+	analysistest.Run(t, phasepair.New(testConfig()), "testdata", "a")
+}
+
+func TestSeededNilSafetyViolations(t *testing.T) {
+	analysistest.Run(t, phasepair.New(testConfig()), "testdata", "trace")
+}
+
+func TestCleanCode(t *testing.T) {
+	analysistest.Run(t, phasepair.New(testConfig()), "testdata", "clean")
+}

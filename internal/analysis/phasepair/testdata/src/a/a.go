@@ -1,0 +1,53 @@
+// Package a seeds the phase-pairing diagnostics against a context type
+// mirroring xmlac/internal/trace.Context (the real package is internal to
+// the xmlac module; the analyzer is configured with both type names).
+package a
+
+import (
+	"errors"
+
+	"vettest/trace"
+)
+
+func returnWithOpenPhase(tr *trace.Context, fail bool) error {
+	tr.Begin(trace.PhaseDecode)
+	if fail {
+		return errors.New("bad header") // want `return leaves 1 trace phase\(s\) open`
+	}
+	tr.End()
+	return nil
+}
+
+func fallsOffTheEnd(tr *trace.Context) {
+	tr.Begin(trace.PhaseEval)
+	tr.Begin(trace.PhaseEmit)
+	tr.End()
+} // want `function ends with 1 trace phase\(s\) still open`
+
+func endWithoutBegin(tr *trace.Context) {
+	tr.End() // want `End without a matching Begin on this path`
+}
+
+func branchImbalance(tr *trace.Context, quick bool) {
+	tr.Begin(trace.PhaseSkip)
+	if quick { // want `trace phase balance differs across branches`
+		tr.End()
+	}
+	tr.End()
+}
+
+func loopImbalance(tr *trace.Context, chunks []int) {
+	for range chunks { // want `loop body changes the number of open trace phases by 1 per iteration`
+		tr.Begin(trace.PhaseDecrypt)
+	}
+}
+
+func breakWithOpenPhase(tr *trace.Context, chunks []int) {
+	for _, c := range chunks {
+		tr.Begin(trace.PhaseVerify)
+		if c == 0 {
+			break // want `break leaves 1 trace phase\(s\) open relative to loop entry`
+		}
+		tr.End()
+	}
+}

@@ -1,0 +1,94 @@
+// Package clean is the negative case: every Begin/End idiom the module
+// actually uses, which the analyzer must accept without diagnostics.
+package clean
+
+import (
+	"errors"
+
+	"vettest/trace"
+)
+
+func deferredEnd(tr *trace.Context) error {
+	tr.Begin(trace.PhaseFetch)
+	defer tr.End()
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func straightLinePair(tr *trace.Context) error {
+	tr.Begin(trace.PhaseHashFetch)
+	err := work()
+	tr.End()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func endOnBothBranches(tr *trace.Context, fast bool) {
+	tr.Begin(trace.PhaseDecode)
+	if fast {
+		tr.End()
+	} else {
+		tr.End()
+	}
+}
+
+func endBeforeEveryReturn(tr *trace.Context, n int) int {
+	tr.Begin(trace.PhaseEval)
+	if n < 0 {
+		tr.End()
+		return 0
+	}
+	tr.End()
+	return n
+}
+
+func pairPerIteration(tr *trace.Context, chunks []int) {
+	for range chunks {
+		tr.Begin(trace.PhaseDecrypt)
+		tr.End()
+	}
+}
+
+func switchBalanced(tr *trace.Context, kind int) error {
+	tr.Begin(trace.PhaseEval)
+	var err error
+	switch kind {
+	case 0:
+		err = work()
+	case 1:
+		err = nil
+	default:
+		err = errors.New("unknown kind")
+	}
+	tr.End()
+	return err
+}
+
+func nestedPhases(tr *trace.Context) {
+	tr.Begin(trace.PhaseDecode)
+	tr.Begin(trace.PhaseDecrypt)
+	tr.End()
+	tr.End()
+}
+
+func deferredClosure(tr *trace.Context) {
+	tr.Begin(trace.PhaseResync)
+	defer func() {
+		tr.End()
+	}()
+	_ = work()
+}
+
+func panicTerminates(tr *trace.Context, ok bool) {
+	tr.Begin(trace.PhaseEmit)
+	if !ok {
+		panic("invariant broken")
+	}
+	tr.End()
+}
+
+func work() error { return nil }

@@ -1,0 +1,69 @@
+// Package trace mimics the xmlac/internal/trace contract for the golden
+// tests (the real package is internal to the xmlac module and cannot be
+// imported from the test module): a phase-stack Context whose exported
+// methods must all be nil-receiver-safe. The analyzer is configured with
+// this type for both the pairing and the nil-safety checks.
+package trace
+
+// Phase identifies one pipeline phase.
+type Phase int
+
+// Phase constants used by the golden packages.
+const (
+	PhaseDecrypt Phase = iota
+	PhaseVerify
+	PhaseHashFetch
+	PhaseDecode
+	PhaseSkip
+	PhaseEval
+	PhaseEmit
+	PhaseFetch
+	PhaseResync
+)
+
+// Context is the per-evaluation phase stack.
+type Context struct {
+	id    string
+	stack []Phase
+	count int64
+}
+
+// Begin pushes a phase (guarded, like the real Context).
+func (c *Context) Begin(p Phase) {
+	if c == nil {
+		return
+	}
+	c.stack = append(c.stack, p)
+}
+
+// End pops the current phase (guarded with a compound condition).
+func (c *Context) End() {
+	if c == nil || len(c.stack) == 0 {
+		return
+	}
+	c.stack = c.stack[:len(c.stack)-1]
+}
+
+// ID is guarded correctly.
+func (c *Context) ID() string {
+	if c == nil {
+		return ""
+	}
+	return c.id
+}
+
+// Bump is missing the guard.
+func (c *Context) Bump() { // want `exported method Bump of nil-safe type Context must begin with a nil-receiver guard`
+	c.count++
+}
+
+// Snapshot uses a value receiver: calling it on the nil pointer the
+// disabled pipeline threads through panics before the body runs.
+func (c Context) Snapshot() int64 { // want `exported method Snapshot of nil-safe type Context must use a pointer receiver`
+	return c.count
+}
+
+// reset is unexported: internal call sites hold non-nil receivers.
+func (c *Context) reset() {
+	c.count = 0
+}

@@ -1,0 +1,19 @@
+// Package client is outside the configured boundary: the client-side SOE
+// is exactly where keys and the evaluator live, so nothing here is
+// reported.
+package client
+
+import (
+	"vettest/api"
+	"vettest/secure"
+)
+
+func Unlock(pass string) []byte {
+	k := secure.Derive(pass)
+	_ = api.DeriveKey(pass)
+	return []byte(k)
+}
+
+func Open(v *api.Vault, pass string) []byte {
+	return v.Unseal(pass)
+}

@@ -1,0 +1,9 @@
+// Package secure mirrors xmlac/internal/secure: a denied import for the
+// server side.
+package secure
+
+// Key is the mimic key type.
+type Key []byte
+
+// Derive mimics key derivation.
+func Derive(pass string) Key { return Key(pass) }

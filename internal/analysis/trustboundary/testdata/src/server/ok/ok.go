@@ -1,0 +1,17 @@
+// Package ok is the negative case inside the boundary: server-side code
+// that sticks to ciphertext and metadata raises no diagnostics.
+package ok
+
+import "vettest/api"
+
+// Serve hands opaque ciphertext through untouched.
+func Serve(blob []byte) []byte { return blob }
+
+// Describe may name allowed client types; only the denied symbols are out
+// of bounds.
+func Describe(v *api.Vault) string {
+	if v == nil {
+		return "no vault"
+	}
+	return "vault"
+}

@@ -1,0 +1,21 @@
+// Package server seeds the trust-boundary diagnostics: an untrusted-side
+// package importing and referencing the denied client-side symbols.
+package server
+
+import (
+	"vettest/api"
+	"vettest/secure" // want `trust-boundary violation: vettest/server must not import vettest/secure`
+)
+
+type Store struct {
+	key api.Key // want `trust-boundary violation: vettest/server must not reference vettest/api\.Key`
+}
+
+func (s *Store) Load(pass string) {
+	s.key = api.DeriveKey(pass) // want `must not reference vettest/api\.DeriveKey`
+	_ = secure.Derive(pass)
+}
+
+func open(v *api.Vault, pass string) []byte {
+	return v.Unseal(pass) // want `must not reference vettest/api\.Vault\.Unseal`
+}

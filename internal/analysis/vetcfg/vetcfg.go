@@ -1,0 +1,224 @@
+// Package vetcfg reads .xmlac-vet.toml: the trust-boundary deny lists and
+// the committed baseline of intentionally-allowed findings. The parser is a
+// deliberately small TOML subset (tables, array-of-table blocks, string and
+// string-array values, # comments) — enough for a reviewed, diffable config
+// file without pulling in a TOML dependency.
+package vetcfg
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// DefaultFile is the config/baseline file name, looked up at the module
+// root.
+const DefaultFile = ".xmlac-vet.toml"
+
+// Config is the parsed .xmlac-vet.toml.
+type Config struct {
+	// Trustboundary configures the trustboundary analyzer.
+	Trustboundary Trustboundary
+	// Allow is the committed baseline: findings matching an entry are
+	// reported as allowed instead of failing the run.
+	Allow []Allow
+}
+
+// Trustboundary is the config of the trustboundary analyzer: which
+// packages form the untrusted surface and which imports/symbols they must
+// never reach.
+type Trustboundary struct {
+	// Packages are import-path prefixes of the untrusted surface
+	// (internal/server, cmd/xmlac-serve).
+	Packages []string
+	// DenyImports are import-path prefixes those packages must not import
+	// directly (the client-side engine internals).
+	DenyImports []string
+	// DenySymbols are fully-qualified symbols ("pkgpath.Name" or
+	// "pkgpath.Type.Name") those packages must not reference: decrypt,
+	// evaluator and key-handling entry points.
+	DenySymbols []string
+}
+
+// Allow is one baseline entry. A finding is suppressed when the analyzer
+// matches, the module-relative file path matches, and Match (if non-empty)
+// is a substring of the message.
+type Allow struct {
+	Analyzer string
+	Path     string
+	Match    string
+	Reason   string
+	// used is set when a finding matched this entry during filtering.
+	used bool
+}
+
+// Load reads and parses the config file. A missing file yields the zero
+// Config and no error: the tool then runs with built-in defaults and an
+// empty baseline.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Config{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(data), path)
+}
+
+// Parse parses the TOML subset. name is used in error messages only.
+func Parse(src, name string) (*Config, error) {
+	cfg := &Config{}
+	section := ""
+	var cur *Allow
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", name, lineno+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "[["):
+			sec := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "[["), "]]"))
+			if sec != "allow" {
+				return nil, fail("unknown array-of-tables [[%s]] (only [[allow]] is supported)", sec)
+			}
+			cfg.Allow = append(cfg.Allow, Allow{})
+			cur = &cfg.Allow[len(cfg.Allow)-1]
+			section = "allow"
+		case strings.HasPrefix(line, "["):
+			sec := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "["), "]"))
+			if sec != "trustboundary" {
+				return nil, fail("unknown table [%s] (only [trustboundary] and [[allow]] are supported)", sec)
+			}
+			section = sec
+			cur = nil
+		default:
+			key, val, ok := strings.Cut(line, "=")
+			if !ok {
+				return nil, fail("expected key = value")
+			}
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			switch section {
+			case "trustboundary":
+				list, err := parseStringArray(val)
+				if err != nil {
+					return nil, fail("value for %s: %v", key, err)
+				}
+				switch key {
+				case "packages":
+					cfg.Trustboundary.Packages = list
+				case "deny_imports":
+					cfg.Trustboundary.DenyImports = list
+				case "deny_symbols":
+					cfg.Trustboundary.DenySymbols = list
+				default:
+					return nil, fail("unknown key %q in [trustboundary]", key)
+				}
+			case "allow":
+				s, err := parseString(val)
+				if err != nil {
+					return nil, fail("value for %s: %v", key, err)
+				}
+				switch key {
+				case "analyzer":
+					cur.Analyzer = s
+				case "path":
+					cur.Path = s
+				case "match":
+					cur.Match = s
+				case "reason":
+					cur.Reason = s
+				default:
+					return nil, fail("unknown key %q in [[allow]]", key)
+				}
+			default:
+				return nil, fail("key %q outside any table", key)
+			}
+		}
+	}
+	for i, a := range cfg.Allow {
+		if a.Analyzer == "" || a.Path == "" {
+			return nil, fmt.Errorf("%s: [[allow]] entry %d needs both analyzer and path", name, i+1)
+		}
+		if a.Reason == "" {
+			return nil, fmt.Errorf("%s: [[allow]] entry %d (%s %s) needs a reason — the review rule requires one", name, i+1, a.Analyzer, a.Path)
+		}
+	}
+	return cfg, nil
+}
+
+// parseString parses one double-quoted TOML basic string.
+func parseString(val string) (string, error) {
+	s, err := strconv.Unquote(val)
+	if err != nil {
+		return "", fmt.Errorf("expected a %q-quoted string, got %s", '"', val)
+	}
+	return s, nil
+}
+
+// parseStringArray parses a single-line ["a", "b"] array (empty allowed).
+func parseStringArray(val string) ([]string, error) {
+	if !strings.HasPrefix(val, "[") || !strings.HasSuffix(val, "]") {
+		return nil, fmt.Errorf("expected [\"...\", ...], got %s", val)
+	}
+	inner := strings.TrimSpace(val[1 : len(val)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range splitTopLevel(inner) {
+		s, err := parseString(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// splitTopLevel splits on commas outside quoted strings.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth := false // inside a quoted string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !depth {
+				depth = true
+			} else if i == 0 || s[i-1] != '\\' {
+				depth = false
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// Matches reports whether the entry suppresses a finding of the given
+// analyzer at the module-relative path with the given message, marking the
+// entry used.
+func (a *Allow) Matches(analyzer, relPath, message string) bool {
+	if a.Analyzer != analyzer || filepath.ToSlash(relPath) != filepath.ToSlash(a.Path) {
+		return false
+	}
+	if a.Match != "" && !strings.Contains(message, a.Match) {
+		return false
+	}
+	a.used = true
+	return true
+}
+
+// Used reports whether any finding matched the entry.
+func (a *Allow) Used() bool { return a.used }

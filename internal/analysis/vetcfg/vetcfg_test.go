@@ -1,0 +1,91 @@
+package vetcfg
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# review rule: every entry needs a reason.
+[trustboundary]
+packages = ["xmlac/internal/server", "xmlac/cmd/xmlac-serve"]
+deny_imports = ["xmlac/internal/secure"]
+deny_symbols = ["xmlac.DeriveKey", "xmlac.Protected.AuthorizedView"]
+
+[[allow]]
+analyzer = "trustboundary"
+path = "internal/server/store.go"
+match = "xmlac.DeriveKey"
+reason = "trusted-deployment demo registration"
+
+[[allow]]
+analyzer = "errlink"
+path = "internal/remote/source.go"
+reason = "message-only rendering is intentional here"
+`
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse(sample, "test.toml")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tb := cfg.Trustboundary
+	if len(tb.Packages) != 2 || tb.Packages[1] != "xmlac/cmd/xmlac-serve" {
+		t.Errorf("packages = %v", tb.Packages)
+	}
+	if len(tb.DenyImports) != 1 || tb.DenyImports[0] != "xmlac/internal/secure" {
+		t.Errorf("deny_imports = %v", tb.DenyImports)
+	}
+	if len(tb.DenySymbols) != 2 || tb.DenySymbols[1] != "xmlac.Protected.AuthorizedView" {
+		t.Errorf("deny_symbols = %v", tb.DenySymbols)
+	}
+	if len(cfg.Allow) != 2 {
+		t.Fatalf("allow entries = %d, want 2", len(cfg.Allow))
+	}
+
+	a := &cfg.Allow[0]
+	if !a.Matches("trustboundary", "internal/server/store.go", "use of denied symbol xmlac.DeriveKey") {
+		t.Errorf("entry 0 should match")
+	}
+	if a.Matches("trustboundary", "internal/server/cache.go", "use of denied symbol xmlac.DeriveKey") {
+		t.Errorf("entry 0 must not match a different file")
+	}
+	if a.Matches("keytaint", "internal/server/store.go", "use of denied symbol xmlac.DeriveKey") {
+		t.Errorf("entry 0 must not match a different analyzer")
+	}
+	if !a.Used() {
+		t.Errorf("entry 0 should be marked used")
+	}
+
+	// Empty match matches any message of that analyzer+file.
+	b := &cfg.Allow[1]
+	if !b.Matches("errlink", "internal/remote/source.go", "anything at all") {
+		t.Errorf("entry 1 should match any message")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"missing reason", "[[allow]]\nanalyzer = \"x\"\npath = \"y\"\n", "needs a reason"},
+		{"missing path", "[[allow]]\nanalyzer = \"x\"\nreason = \"r\"\n", "analyzer and path"},
+		{"unknown table", "[nope]\n", "unknown table"},
+		{"unknown key", "[trustboundary]\nnope = [\"a\"]\n", "unknown key"},
+		{"key outside table", "x = \"y\"\n", "outside any table"},
+		{"bad array", "[trustboundary]\npackages = \"a\"\n", "expected"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src, "t.toml"); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	cfg, err := Load("/nonexistent/.xmlac-vet.toml")
+	if err != nil {
+		t.Fatalf("Load of a missing file must not error: %v", err)
+	}
+	if len(cfg.Allow) != 0 {
+		t.Errorf("missing file must yield an empty baseline")
+	}
+}

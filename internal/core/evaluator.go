@@ -225,7 +225,7 @@ func Evaluate(reader xmlstream.EventReader, policy *accessrule.Policy, opts Opti
 func (e *Evaluator) Run() (*Result, error) {
 	for {
 		ev, err := e.reader.Next()
-		if err == xmlstream.ErrEndOfDocument {
+		if errors.Is(err, xmlstream.ErrEndOfDocument) {
 			break
 		}
 		if err != nil {

@@ -213,7 +213,7 @@ func (m *MultiEvaluator) Run() ([]SubjectOutcome, error) {
 			}
 		}
 		ev, err := m.reader.Next()
-		if err == xmlstream.ErrEndOfDocument {
+		if errors.Is(err, xmlstream.ErrEndOfDocument) {
 			break
 		}
 		if err != nil {

@@ -1,6 +1,7 @@
 package skipindex
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -394,7 +395,7 @@ func Decode(data []byte) (*xmlstream.Node, error) {
 	builder := xmlstream.NewTreeBuilder()
 	for {
 		ev, err := dec.Next()
-		if err == xmlstream.ErrEndOfDocument {
+		if errors.Is(err, xmlstream.ErrEndOfDocument) {
 			break
 		}
 		if err != nil {

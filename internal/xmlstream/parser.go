@@ -2,6 +2,7 @@ package xmlstream
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -343,7 +344,7 @@ func ParseTree(r io.Reader) (*Node, error) {
 	var root *Node
 	for {
 		ev, err := p.Next()
-		if err == ErrEndOfDocument {
+		if errors.Is(err, ErrEndOfDocument) {
 			break
 		}
 		if err != nil {

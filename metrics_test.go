@@ -3,6 +3,9 @@ package xmlac
 import (
 	"reflect"
 	"testing"
+
+	"xmlac/internal/analysis"
+	"xmlac/internal/analysis/metricsfold"
 )
 
 // TestMetricsAddFoldsEveryField pins, by reflection, that Metrics.Add folds
@@ -64,4 +67,54 @@ func TestMetricsAddFoldsEveryField(t *testing.T) {
 	}
 	acc.Add(&src)
 	checkDoubled(reflect.ValueOf(acc), reflect.ValueOf(src), "")
+}
+
+// TestMetricsFoldAnalyzerSeesSameFields pins that the metricsfold vet
+// analyzer and this file's reflection walk agree on what "every field of
+// Metrics" means. The two guards overlap on purpose — the test catches a
+// dropped field at test time, the analyzer at vet time and for accumulators
+// without such a test — but they only back each other up if neither's view
+// of the struct drifts (e.g. the analyzer recursing where the test does
+// not).
+func TestMetricsFoldAnalyzerSeesSameFields(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the package via the go tool")
+	}
+	pkgs, err := analysis.Load(".", "xmlac")
+	if err != nil {
+		t.Fatalf("loading package xmlac: %v", err)
+	}
+	var pkg *analysis.Package
+	for _, p := range pkgs {
+		if p.Path == "xmlac" {
+			pkg = p
+		}
+	}
+	if pkg == nil {
+		t.Fatal("package xmlac not among loaded packages")
+	}
+	obj := pkg.Types.Scope().Lookup("Metrics")
+	if obj == nil {
+		t.Fatal("type Metrics not found in package scope")
+	}
+	analyzerView := metricsfold.LeafFields(obj.Type())
+
+	var reflectView []string
+	var walk func(tp reflect.Type, prefix string)
+	walk = func(tp reflect.Type, prefix string) {
+		for i := 0; i < tp.NumField(); i++ {
+			f := tp.Field(i)
+			if f.Type.Kind() == reflect.Struct {
+				walk(f.Type, prefix+f.Name+".")
+				continue
+			}
+			reflectView = append(reflectView, prefix+f.Name)
+		}
+	}
+	walk(reflect.TypeOf(Metrics{}), "")
+
+	if !reflect.DeepEqual(analyzerView, reflectView) {
+		t.Errorf("metricsfold and the reflection test disagree on Metrics' fields:\nanalyzer: %v\nreflect:  %v",
+			analyzerView, reflectView)
+	}
 }

@@ -253,7 +253,7 @@ func (p *Protected) spliceInPlace(edits []Edit) (newPlain []byte, ok bool, err e
 		}
 		_, _, node, err := resolveEditPath(p.root, e.Path)
 		if err != nil {
-			return nil, false, fmt.Errorf("%w: edit %d: %v", ErrInvalidEdit, i, err)
+			return nil, false, fmt.Errorf("%w: edit %d: %w", ErrInvalidEdit, i, err)
 		}
 		span, known := p.spans[node]
 		if !known || span.Len != len(e.Text) {
@@ -309,14 +309,14 @@ func applyEdits(root *xmlstream.Node, edits []Edit) (undo func(), err error) {
 		parent, idx, node, rerr := resolveEditPath(root, e.Path)
 		if rerr != nil {
 			undo()
-			return nil, fmt.Errorf("%w: edit %d: %v", ErrInvalidEdit, i, rerr)
+			return nil, fmt.Errorf("%w: edit %d: %w", ErrInvalidEdit, i, rerr)
 		}
 		switch e.Op {
 		case EditReplace, EditInsert:
 			frag, perr := parseFragment(e.XML)
 			if perr != nil {
 				undo()
-				return nil, fmt.Errorf("%w: edit %d: %v", ErrInvalidEdit, i, perr)
+				return nil, fmt.Errorf("%w: edit %d: %w", ErrInvalidEdit, i, perr)
 			}
 			if e.Op == EditReplace {
 				if parent == nil {
@@ -367,7 +367,7 @@ func parseFragment(xml string) (*xmlstream.Node, error) {
 	}
 	doc, err := ParseDocumentString(xml)
 	if err != nil {
-		return nil, fmt.Errorf("parsing XML fragment: %v", err)
+		return nil, fmt.Errorf("parsing XML fragment: %w", err)
 	}
 	if doc.IsEmpty() {
 		return nil, errors.New("XML fragment holds no element")
@@ -389,7 +389,7 @@ func resolveEditPath(root *xmlstream.Node, path string) (parent *xmlstream.Node,
 	steps := strings.Split(trimmed, "/")
 	name, occurrence, err := parseStep(steps[0])
 	if err != nil {
-		return nil, 0, nil, fmt.Errorf("path %q: %v", path, err)
+		return nil, 0, nil, fmt.Errorf("path %q: %w", path, err)
 	}
 	if name != root.Name || occurrence != 1 {
 		return nil, 0, nil, fmt.Errorf("path %q does not start at the document root <%s>", path, root.Name)
@@ -398,7 +398,7 @@ func resolveEditPath(root *xmlstream.Node, path string) (parent *xmlstream.Node,
 	for _, step := range steps[1:] {
 		name, occurrence, err := parseStep(step)
 		if err != nil {
-			return nil, 0, nil, fmt.Errorf("path %q: %v", path, err)
+			return nil, 0, nil, fmt.Errorf("path %q: %w", path, err)
 		}
 		found := -1
 		seen := 0

@@ -196,6 +196,20 @@
 // (GET /metrics.prom), recent spans as JSONL (GET /debug/trace) and opt-in
 // pprof handlers.
 //
+// # Machine-checked trust boundary
+//
+// The security argument — the server never sees keys or plaintext — is not
+// just a deployment convention: it is enforced at vet time by the module's
+// own analyzer suite (cmd/xmlac-vet). A taint analysis (keytaint) proves no
+// value derived from a Key reaches logging, error values, serialization or
+// any server-side symbol, and a boundary check (trustboundary) proves the
+// server packages never reference the decrypt, evaluator, or key-handling
+// entry points; the single-machine trusted demo mode in internal/server is
+// the one documented, baselined exception (.xmlac-vet.toml). The same suite
+// pins repo invariants the type system cannot see: sentinel errors stay
+// wrapped with %w, every trace phase Begin has an End on all paths, and
+// Metrics.Add folds every field. CI runs it as a blocking job.
+//
 // The sub-packages under internal/ implement the building blocks (XPath
 // fragment, access rules automata, streaming evaluator, Skip index,
 // encryption and integrity layer, SOE cost model, dataset generators and the
@@ -306,7 +320,7 @@ func (p Policy) compile() (*accessrule.Policy, error) {
 		}
 		rule, err := accessrule.ParseRule(id, r.Sign, r.Object)
 		if err != nil {
-			return nil, fmt.Errorf("%w: rule %s: %v", ErrInvalidPolicy, id, err)
+			return nil, fmt.Errorf("%w: rule %s: %w", ErrInvalidPolicy, id, err)
 		}
 		out.Add(rule)
 	}
