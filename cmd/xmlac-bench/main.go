@@ -2,8 +2,11 @@
 // evaluation section (section 7) using the experiment harness of
 // internal/experiments, printing one text table per experiment — or, with
 // -json, runs the machine-readable wall-clock suites of internal/bench and
-// writes BENCH_shared_scan.json and BENCH_streaming_view.json in the stable
-// schema CI uploads on every run.
+// writes BENCH_shared_scan.json, BENCH_streaming_view.json, BENCH_update.json
+// and BENCH_parallel_scan.json in the stable schema CI uploads on every run.
+// The parallel-scan suite builds its own larger fixture (-parallel-scale,
+// default 8.0 ≈ 30 MB) because the region-parallel speedup only shows on
+// documents big enough to amortize the planning pass.
 //
 // Usage:
 //
@@ -43,10 +46,11 @@ func main() {
 	trajPath := flag.String("trajectory", "BENCH_trajectory.jsonl", "trajectory file for -append and -gate")
 	gatePct := flag.Float64("gate", 0, "fail when any benchmark's ns/op regresses more than this percentage over the newest trajectory entry (-json only; 0 disables)")
 	source := flag.String("source", "local", "source label recorded in appended trajectory entries (local or ci)")
+	parallelScale := flag.Float64("parallel-scale", 8.0, "dataset scale of the parallel-scan suite's own fixture (-json only; 0 skips the suite)")
 	flag.Parse()
 
 	if *jsonOut {
-		if err := runJSON(*scale, *outDir, *traceOut, *appendTraj, *trajPath, *gatePct, *source); err != nil {
+		if err := runJSON(*scale, *parallelScale, *outDir, *traceOut, *appendTraj, *trajPath, *gatePct, *source); err != nil {
 			fmt.Fprintln(os.Stderr, "xmlac-bench:", err)
 			os.Exit(1)
 		}
@@ -82,7 +86,7 @@ func main() {
 // optional Chrome trace of one instrumented streaming view. With -append the
 // combined results also become a new trajectory entry; with -gate they are
 // checked against the newest committed entry first.
-func runJSON(scale float64, outDir, traceOut string, appendTraj bool, trajPath string, gatePct float64, source string) error {
+func runJSON(scale, parallelScale float64, outDir, traceOut string, appendTraj bool, trajPath string, gatePct float64, source string) error {
 	fx, err := bench.NewHospitalFixture(scale)
 	if err != nil {
 		return err
@@ -121,8 +125,28 @@ func runJSON(scale float64, outDir, traceOut string, appendTraj bool, trajPath s
 		return err
 	}
 	fmt.Println("wrote", updatePath)
+	// The parallel-scan curve runs on its own, larger fixture (the speedup
+	// only shows on documents big enough to amortize the region planning;
+	// the acceptance curve uses scale 8, ~30 MB) — byte-identity is checked
+	// by the suite before any timing.
+	var parallel []bench.Result
+	if parallelScale > 0 {
+		parallelFx, err := bench.NewHospitalFixture(parallelScale)
+		if err != nil {
+			return err
+		}
+		parallel, err = bench.ParallelScanSuite(parallelFx)
+		if err != nil {
+			return err
+		}
+		parallelPath := filepath.Join(outDir, "BENCH_parallel_scan.json")
+		if err := bench.WriteJSON(parallelPath, parallel); err != nil {
+			return err
+		}
+		fmt.Println("wrote", parallelPath)
+	}
 
-	all := append(append(shared, streaming...), updates...)
+	all := append(append(append(shared, streaming...), updates...), parallel...)
 	if gatePct > 0 {
 		baseline, err := bench.NewestTrajectory(trajPath)
 		if err != nil {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeMD(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanFileHasNoFindings(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "other.md"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := writeMD(t, dir, "doc.md", strings.Join([]string{
+		"# Title",
+		"",
+		"A [good link](other.md), an [anchor](#title) and a",
+		"[url](https://example.com/x) are all fine.",
+		"",
+		"```go",
+		"x := compute()",
+		"fmt.Println(x) // aligned by gofmt",
+		"```",
+		"",
+		"```",
+		"not go: [dead](nope.md) inside a fence is ignored",
+		"```",
+		"",
+	}, "\n"))
+	findings, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("want no findings, got %q", findings)
+	}
+}
+
+func TestFindsDeadLinkUnparsedAndUnformattedFences(t *testing.T) {
+	dir := t.TempDir()
+	path := writeMD(t, dir, "doc.md", strings.Join([]string{
+		"See [missing](gone/away.md).",
+		"",
+		"```go",
+		"func broken( {",
+		"```",
+		"",
+		"```go",
+		"x   :=   1",
+		"```",
+		"",
+	}, "\n"))
+	findings, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("want 3 findings, got %q", findings)
+	}
+	for i, want := range []string{"dead relative link", "does not parse", "not gofmt-clean"} {
+		if !strings.Contains(findings[i], want) {
+			t.Errorf("finding %d = %q, want substring %q", i, findings[i], want)
+		}
+	}
+}
+
+func TestLinkAnchorsAndDirectoriesResolve(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeMD(t, dir, "sub/inner.md", "inner")
+	path := writeMD(t, dir, "doc.md",
+		"[dir](sub) and [anchored](sub/inner.md#section) resolve.\n")
+	findings, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("want no findings, got %q", findings)
+	}
+}
+
+func TestUnterminatedFenceIsReported(t *testing.T) {
+	dir := t.TempDir()
+	path := writeMD(t, dir, "doc.md", "```go\nx := 1\n")
+	findings, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "unterminated") {
+		t.Fatalf("want one unterminated-fence finding, got %q", findings)
+	}
+}
+
+// TestRepoDocsAreClean is the same check CI's docs job runs, pinned as a
+// test so `go test ./...` catches documentation rot without the workflow.
+func TestRepoDocsAreClean(t *testing.T) {
+	for _, rel := range []string{"README.md", "docs/ARCHITECTURE.md", "ROADMAP.md"} {
+		path := filepath.Join("..", "..", rel)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		findings, err := checkFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"html"
 	"io"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 
 	"xmlac"
@@ -162,6 +165,7 @@ func renderHTML(w io.Writer, d *reportData) error {
 	if len(d.Trajectory) > 0 {
 		writeTiles(&b, d.Trajectory)
 		writeTrajectory(&b, d.Trajectory)
+		writeParallelScaling(&b, d.Trajectory)
 	}
 	if len(d.Spans) > 0 {
 		writeTraceSection(&b, d.Spans)
@@ -353,6 +357,109 @@ func writeTrajectoryTable(b *strings.Builder, entries []bench.TrajectoryEntry) {
 	}
 	fmt.Fprintf(b, "</table>\n<div class=\"note\">%d trajectory entries; oldest %s (%s).</div>\n</div>\n",
 		len(entries), esc(entries[0].Commit), esc(entries[0].Time))
+}
+
+// parallelScanRe matches the parallel-scan suite's result names,
+// capturing the profile and the worker count.
+var parallelScanRe = regexp.MustCompile(`^ParallelScan/(.+)/workers=([0-9]+)$`)
+
+// writeParallelScaling renders the newest entry's parallel-scan curve as one
+// workers-vs-throughput small multiple per profile: views/s over the worker
+// count, with the speedup vs the serial arm direct-labeled at the line end.
+// The trajectory panels above already show each arm's history over commits;
+// this section shows the shape that matters for the parallel scan — how far
+// throughput climbs before the runner runs out of cores.
+func writeParallelScaling(b *strings.Builder, entries []bench.TrajectoryEntry) {
+	newest := entries[len(entries)-1]
+	type pt struct {
+		workers int
+		ns      float64
+	}
+	curves := map[string][]pt{}
+	var profiles []string
+	for _, r := range newest.Results {
+		m := parallelScanRe.FindStringSubmatch(r.Name)
+		if m == nil || r.NsPerOp <= 0 {
+			continue
+		}
+		workers, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		if _, ok := curves[m[1]]; !ok {
+			profiles = append(profiles, m[1])
+		}
+		curves[m[1]] = append(curves[m[1]], pt{workers: workers, ns: r.NsPerOp})
+	}
+	if len(profiles) == 0 {
+		return
+	}
+	b.WriteString("<h2>Parallel scan — workers vs throughput</h2>\n<div class=\"panels\">\n")
+	for _, prof := range profiles {
+		pts := curves[prof]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].workers < pts[j].workers })
+		const (
+			width, height = 340, 150
+			left, right   = 44, 70
+			top, bottom   = 10, 24
+		)
+		plotW, plotH := float64(width-left-right), float64(height-top-bottom)
+		maxViews := 0.0
+		for _, p := range pts {
+			if v := 1e9 / p.ns; v > maxViews {
+				maxViews = v
+			}
+		}
+		yMax := niceCeil(maxViews)
+		x := func(i int) float64 {
+			if len(pts) == 1 {
+				return float64(left) + plotW/2
+			}
+			return float64(left) + plotW*float64(i)/float64(len(pts)-1)
+		}
+		y := func(views float64) float64 { return float64(top) + plotH*(1-views/yMax) }
+
+		fmt.Fprintf(b, "<div class=\"card panel\"><div class=\"name\">ParallelScan/%s — views/s by workers</div>\n", esc(prof))
+		fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"ParallelScan/%s views per second by worker count\">\n",
+			width, height, width, height, esc(prof))
+		for _, tick := range []float64{yMax, yMax / 2} {
+			ty := y(tick)
+			fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"var(--grid)\" stroke-width=\"1\"/>\n",
+				left, ty, width-right, ty)
+			fmt.Fprintf(b, "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\">%.2f/s</text>\n", left-6, ty+3, tick)
+		}
+		fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"var(--axis)\" stroke-width=\"1\"/>\n",
+			left, y(0), width-right, y(0))
+		if len(pts) > 1 {
+			var poly strings.Builder
+			for i, p := range pts {
+				fmt.Fprintf(&poly, "%.1f,%.1f ", x(i), y(1e9/p.ns))
+			}
+			fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"var(--s3)\" stroke-width=\"2\" stroke-linejoin=\"round\" stroke-linecap=\"round\"/>\n",
+				strings.TrimSpace(poly.String()))
+		}
+		serialNs := pts[0].ns
+		for i, p := range pts {
+			fmt.Fprintf(b, "<circle class=\"mark\" cx=\"%.1f\" cy=\"%.1f\" r=\"4\" fill=\"var(--s3)\" stroke=\"var(--surface)\" stroke-width=\"2\"><title>%d workers · %.2f views/s · %s/view (%.2f× vs serial)</title></circle>\n",
+				x(i), y(1e9/p.ns), p.workers, 1e9/p.ns, fmtNs(p.ns), serialNs/p.ns)
+			fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%d</text>\n", x(i), height-8, p.workers)
+		}
+		last := pts[len(pts)-1]
+		fmt.Fprintf(b, "<text class=\"val\" x=\"%.1f\" y=\"%.1f\">%.2f×</text>\n",
+			x(len(pts)-1)+8, y(1e9/last.ns)+4, serialNs/last.ns)
+		b.WriteString("</svg></div>\n")
+	}
+	b.WriteString("</div>\n<div class=\"card\">\n<table>\n")
+	b.WriteString("<tr><th>Profile</th><th class=\"num\">Workers</th><th class=\"num\">Time/view</th><th class=\"num\">Views/s</th><th class=\"num\">Speedup</th></tr>\n")
+	for _, prof := range profiles {
+		pts := curves[prof]
+		serialNs := pts[0].ns
+		for _, p := range pts {
+			fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td class=\"num\">%.2f</td><td class=\"num\">%.2f×</td></tr>\n",
+				esc(prof), p.workers, esc(fmtNs(p.ns)), 1e9/p.ns, serialNs/p.ns)
+		}
+	}
+	b.WriteString("</table>\n<div class=\"note\">Byte-identity and per-subject counter equality vs the serial scan are verified by the suite before timing; the curve flattens once the worker count passes the runner's GOMAXPROCS.</div>\n</div>\n")
 }
 
 // laneAgg is the phase-duration aggregation of one trace lane.

@@ -12,7 +12,7 @@ import (
 )
 
 const sampleTrajectory = `{"time":"2026-07-29T14:18:53Z","commit":"09c3078","source":"seed","scale":1,"go":"go1.22","results":[{"name":"StreamingView/secretary/streaming","iters":27,"ns_per_op":54854742,"bytes_per_op":17803313,"allocs_per_op":292884,"mb_per_view":0.139}]}
-{"time":"2026-07-29T15:28:24Z","commit":"80a025f","source":"seed","scale":1,"go":"go1.22","results":[{"name":"StreamingView/secretary/streaming","iters":30,"ns_per_op":49854742,"bytes_per_op":17803313,"allocs_per_op":292884,"mb_per_view":0.139},{"name":"Update/inplace","iters":393,"ns_per_op":2835293,"bytes_per_op":4621999,"allocs_per_op":299,"mb_per_view":0,"reenc_frac":0.0009}]}
+{"time":"2026-07-29T15:28:24Z","commit":"80a025f","source":"seed","scale":1,"go":"go1.22","results":[{"name":"StreamingView/secretary/streaming","iters":30,"ns_per_op":49854742,"bytes_per_op":17803313,"allocs_per_op":292884,"mb_per_view":0.139},{"name":"Update/inplace","iters":393,"ns_per_op":2835293,"bytes_per_op":4621999,"allocs_per_op":299,"mb_per_view":0,"reenc_frac":0.0009},{"name":"ParallelScan/doctor/workers=1","iters":1,"ns_per_op":4000000000,"bytes_per_op":1,"allocs_per_op":1,"mb_per_view":13.7},{"name":"ParallelScan/doctor/workers=2","iters":1,"ns_per_op":2100000000,"bytes_per_op":1,"allocs_per_op":1,"mb_per_view":13.7},{"name":"ParallelScan/doctor/workers=4","iters":1,"ns_per_op":1250000000,"bytes_per_op":1,"allocs_per_op":1,"mb_per_view":13.7}]}
 `
 
 const sampleTrace = `{"trace_id":"t-merged","span_id":"c1c1c1c1c1c1c1c1","parent":"root00000000aaaa","name":"phase:decrypt","start":"2026-08-07T00:00:00Z","dur_ns":12000000}
@@ -90,6 +90,52 @@ func TestReportSelfContained(t *testing.T) {
 	}
 	if strings.Count(page, "<table>") < 3 {
 		t.Error("every chart needs its table view")
+	}
+}
+
+// TestReportParallelScaling pins the workers-vs-throughput small multiple:
+// one panel per profile from the newest entry's ParallelScan results, x ticks
+// at the worker counts, speedup vs the serial arm direct-labeled and tabled.
+func TestReportParallelScaling(t *testing.T) {
+	traj, _, _ := writeInputs(t)
+	out := filepath.Join(t.TempDir(), "report.html")
+	if err := run(traj, "", "", out, false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	for _, want := range []string{
+		"Parallel scan — workers vs throughput",
+		"ParallelScan/doctor — views/s by workers",
+		"4 workers · 0.80 views/s", // tooltip: 1e9/1.25e9 s
+		"3.20×",                    // 4.0s serial / 1.25s at 4 workers
+		"GOMAXPROCS",               // the honesty note
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("report misses %q", want)
+		}
+	}
+	// The section is driven purely by result names: a trajectory without
+	// ParallelScan entries renders no scaling section (the first entry here
+	// has none, so a single-entry trajectory must omit it).
+	single := filepath.Join(t.TempDir(), "single.jsonl")
+	firstLine, _, _ := strings.Cut(sampleTrajectory, "\n")
+	if err := os.WriteFile(single, []byte(firstLine+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(t.TempDir(), "report2.html")
+	if err := run(single, "", "", out2, false); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw2), "workers vs throughput") {
+		t.Error("scaling section rendered without ParallelScan results")
 	}
 }
 

@@ -46,6 +46,7 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceBuffer := flag.Int("trace-buffer", 0, "spans retained for GET /debug/trace (0 selects the default; negative disables tracing)")
+	parallelism := flag.Int("parallelism", 0, "region workers per view scan (0 = serial; >= 2 enables the parallel intra-document scan and caps ?parallel=N)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel, *logFormat)
@@ -67,6 +68,7 @@ func main() {
 		EnablePprof:     *pprof,
 		TraceBufferSize: *traceBuffer,
 		DisableTracing:  *traceBuffer < 0,
+		ViewParallelism: *parallelism,
 	})
 	if *demo {
 		if err := preloadDemo(srv, *demoFolders); err != nil {

@@ -95,7 +95,7 @@ func authorizedViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolic
 	if err != nil {
 		return nil, nil, err
 	}
-	res, metrics, err := runViewPipeline(opts.Context, src, key, cp, coreOpts)
+	res, metrics, err := runViewPipeline(opts.Context, src, key, cp, coreOpts, opts.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,7 +125,20 @@ type contextSetter interface {
 // When the evaluation fails mid-scan (typically the sink of a disconnected
 // client), the returned Metrics are non-nil and carry the partial counters
 // of the work already performed, so aggregators can still account for it.
-func runViewPipeline(ctx context.Context, src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOpts core.Options) (*core.Result, *Metrics, error) {
+//
+// parallelism >= 2 requests the region-parallel scan (ViewOptions.
+// Parallelism); it applies only to local documents without a query, and any
+// combination the parallel orchestrator vetoes falls back to the serial
+// pipeline below before a single byte reaches the sink.
+func runViewPipeline(ctx context.Context, src secure.ChunkSource, key Key, cp *CompiledPolicy, coreOpts core.Options, parallelism int) (*core.Result, *Metrics, error) {
+	if parallelism >= 2 && coreOpts.Query == nil {
+		if prot, ok := src.(*secure.Protected); ok {
+			res, metrics, err := runParallelViewPipeline(ctx, prot, key, cp, coreOpts, parallelism)
+			if !parallelFallback(err) {
+				return res, metrics, err
+			}
+		}
+	}
 	start := time.Now()
 	st := evalPool.Get().(*evalState)
 	defer evalPool.Put(st)

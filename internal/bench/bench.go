@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -323,6 +324,81 @@ func SharedScanSuite(fx *Fixture) ([]Result, error) {
 			Run(fmt.Sprintf("SharedScan/solo/subjects=%d", n), fx.SharedScanSolo(cps)),
 			Run(fmt.Sprintf("SharedScan/multicast/subjects=%d", n), fx.SharedScanMulticast(cps)),
 		)
+	}
+	return out, nil
+}
+
+// ParallelScanWorkerCounts is the worker axis of the parallel-scan suite;
+// workers=1 is the serial baseline (ViewOptions.Parallelism 0).
+var ParallelScanWorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelScanView measures one streamed view of cp delivered with the given
+// region-parallelism; workers <= 1 selects the serial scan, so the suite's
+// workers=1 arm is the baseline the speedup curve divides by.
+func (f *Fixture) ParallelScanView(cp *xmlac.CompiledPolicy, workers int) func(*testing.B) {
+	opts := xmlac.ViewOptions{}
+	if workers > 1 {
+		opts.Parallelism = workers
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var bytesOut int64
+		for i := 0; i < b.N; i++ {
+			cw := &countWriter{}
+			m, err := f.Prot.StreamAuthorizedViewCompiled(f.Key, cp, opts, cw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if workers > 1 && m.Workers < 1 {
+				b.Fatal("parallel path did not engage (serial fallback)")
+			}
+			bytesOut += cw.n
+		}
+		b.ReportMetric(float64(bytesOut)/float64(b.N)/(1<<20), mbPerViewMetric)
+	}
+}
+
+// VerifyParallelParity delivers one view per worker count outside any timing
+// loop and fails unless every parallel delivery is byte-identical to the
+// serial one — the suite refuses to measure an execution strategy that
+// changed the result.
+func (f *Fixture) VerifyParallelParity(cp *xmlac.CompiledPolicy, workerCounts []int) error {
+	var serial bytes.Buffer
+	serialMetrics, err := f.Prot.StreamAuthorizedViewCompiled(f.Key, cp, xmlac.ViewOptions{}, &serial)
+	if err != nil {
+		return err
+	}
+	for _, w := range workerCounts {
+		if w <= 1 {
+			continue
+		}
+		var got bytes.Buffer
+		m, err := f.Prot.StreamAuthorizedViewCompiled(f.Key, cp, xmlac.ViewOptions{Parallelism: w}, &got)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got.Bytes(), serial.Bytes()) {
+			return fmt.Errorf("parallel view (workers=%d) not byte-identical to serial", w)
+		}
+		if m.NodesPermitted != serialMetrics.NodesPermitted || m.NodesDenied != serialMetrics.NodesDenied ||
+			m.BytesSkipped != serialMetrics.BytesSkipped || m.SubtreesSkipped != serialMetrics.SubtreesSkipped {
+			return fmt.Errorf("parallel per-subject SOE counters (workers=%d) differ from serial", w)
+		}
+	}
+	return nil
+}
+
+// ParallelScanSuite measures the doctor view across the worker axis on the
+// fixture's document (the acceptance curve runs it at scale 8, ~30 MB) and
+// returns the results in the stable schema. The parity check runs first:
+// a curve is only worth recording for byte-identical deliveries.
+func ParallelScanSuite(fx *Fixture) ([]Result, error) {
+	if err := fx.VerifyParallelParity(fx.Doctor, ParallelScanWorkerCounts); err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, w := range ParallelScanWorkerCounts {
+		out = append(out, Run(fmt.Sprintf("ParallelScan/doctor/workers=%d", w), fx.ParallelScanView(fx.Doctor, w)))
 	}
 	return out, nil
 }

@@ -195,18 +195,36 @@ func (m *MultiEvaluator) Run() ([]SubjectOutcome, error) {
 		return nil, errors.New("core: MultiEvaluator.Run called twice")
 	}
 	m.ran = true
+	if err := m.scan(); err != nil {
+		return nil, err
+	}
+	return m.finalize(), nil
+}
+
+// liveCount returns the number of subjects still participating in the scan.
+func (m *MultiEvaluator) liveCount() int {
 	live := 0
 	for _, s := range m.subjects {
 		if s.err == nil {
 			live++
 		}
 	}
+	return live
+}
+
+// scan drives the shared reader to the end of the document, dispatching
+// every event to the live subjects, without finalizing them. A region worker
+// of a parallel scan uses it directly: its subjects must not be finalized at
+// the region's end (the document root is still open there), the stitching
+// layer finalizes them once after the last region.
+func (m *MultiEvaluator) scan() error {
+	live := m.liveCount()
 	for live > 0 {
 		if m.skipper != nil {
 			if depth, ok := m.allSuspendedDepth(); ok {
 				skipped, err := m.skipper.SkipToClose(depth)
 				if err != nil {
-					return nil, fmt.Errorf("core: skipping shared subtree: %w", err)
+					return fmt.Errorf("core: skipping shared subtree: %w", err)
 				}
 				m.stats.SharedSkips++
 				m.stats.SharedBytesSkipped += skipped
@@ -217,33 +235,48 @@ func (m *MultiEvaluator) Run() ([]SubjectOutcome, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: reading document: %w", err)
+			return fmt.Errorf("core: reading document: %w", err)
 		}
 		m.stats.Events++
-		for _, s := range m.subjects {
-			if s.err != nil {
+		live -= m.dispatch(ev)
+	}
+	return nil
+}
+
+// dispatch pushes one event to every live subject, honoring per-subject
+// virtual skips, and returns the number of subjects the event killed (sink
+// failures). It is also the injection point for replaying a shared document
+// prefix into region evaluators before their region's own events.
+func (m *MultiEvaluator) dispatch(ev xmlstream.Event) (died int) {
+	for _, s := range m.subjects {
+		if s.err != nil {
+			continue
+		}
+		if s.skipDepth > 0 {
+			// Virtually skipped subtree: the subject resumes on the Close
+			// of the skipped element, exactly the event a solo
+			// SkipToClose would deliver next.
+			if ev.Kind != xmlstream.Close || ev.Depth != s.skipDepth {
 				continue
 			}
-			if s.skipDepth > 0 {
-				// Virtually skipped subtree: the subject resumes on the Close
-				// of the skipped element, exactly the event a solo
-				// SkipToClose would deliver next.
-				if ev.Kind != xmlstream.Close || ev.Depth != s.skipDepth {
-					continue
-				}
-				s.skipDepth = 0
-			}
-			if err := s.eval.ProcessEvent(ev); err != nil {
-				s.err = err
-				live--
-				continue
-			}
-			if s.requestedSkip > 0 {
-				s.skipDepth = s.requestedSkip
-				s.requestedSkip = 0
-			}
+			s.skipDepth = 0
+		}
+		if err := s.eval.ProcessEvent(ev); err != nil {
+			s.err = err
+			died++
+			continue
+		}
+		if s.requestedSkip > 0 {
+			s.skipDepth = s.requestedSkip
+			s.requestedSkip = 0
 		}
 	}
+	return died
+}
+
+// finalize ends every subject's evaluation and collects the outcomes, one
+// per AddSubject call, in order.
+func (m *MultiEvaluator) finalize() []SubjectOutcome {
 	outcomes := make([]SubjectOutcome, len(m.subjects))
 	for i, s := range m.subjects {
 		if s.err != nil {
@@ -260,5 +293,5 @@ func (m *MultiEvaluator) Run() ([]SubjectOutcome, error) {
 		}
 		outcomes[i] = SubjectOutcome{Result: res, Err: err}
 	}
-	return outcomes, nil
+	return outcomes
 }

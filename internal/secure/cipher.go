@@ -7,6 +7,30 @@
 // terminal protocol and the SOE-side secure reader that decrypts and
 // verifies on demand while accounting for every byte that crosses the SOE
 // boundary.
+//
+// The package has grown three seams beyond the paper's single-shot protect:
+//
+//   - ChunkSource abstracts where ciphertext lives: *Protected serves it
+//     from memory, internal/remote fetches it over HTTP range requests from
+//     an untrusted blob server — the Reader is identical over both, so the
+//     cost accounting (BytesTransferred, BytesDecrypted, integrity hashes)
+//     is byte-for-byte the same local and remote. Manifest marshals the
+//     container layout the remote side needs before its first range
+//     request.
+//
+//   - Update re-encrypts only the chunks an edit dirtied (position-XOR ECB
+//     reuses clean-chunk ciphertext byte-identically; CBC schemes reuse the
+//     prefix before the first change), carries a monotonic document version
+//     in the v2 container, and emits binary Deltas so remote caches evict
+//     only dirty pages.
+//
+//   - Readers are single-goroutine but the *Protected beneath them is
+//     immutable once built (updates swap a new snapshot), so the parallel
+//     scan opens one Reader per region worker over the same snapshot; each
+//     reader verifies and decrypts independently with its own chunk state.
+//
+// Readers report per-phase time (decrypt, verify, hash fetch) into
+// internal/trace contexts when tracing is on.
 package secure
 
 import (

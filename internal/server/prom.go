@@ -27,6 +27,9 @@ var (
 	viewBytesBounds = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
 	// batchSubjectsBounds mirrors the coalescer's JSON batch-size buckets.
 	batchSubjectsBounds = []float64{1, 2, 4, 8, 16}
+	// viewWorkersBounds counts region workers per view scan; the 0 bucket
+	// isolates serial scans (including parallel requests that fell back).
+	viewWorkersBounds = []float64{0, 1, 2, 4, 8, 16}
 )
 
 func promFloat(v float64) string {
@@ -206,4 +209,7 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		s.viewBytes.Snapshot())
 	promHistogram(w, "xmlac_coalesce_batch_subjects",
 		"Subjects per executed scan batch.", s.batchSubjects.Snapshot())
+	promHistogram(w, "xmlac_view_workers",
+		"Region workers per view scan (0 = serial, including parallel requests that fell back).",
+		s.viewWorkers.Snapshot())
 }

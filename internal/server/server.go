@@ -49,6 +49,14 @@ type Options struct {
 	// DisableCoalescing turns request coalescing off: every GET /view runs
 	// its own scan (the pre-coalescing behaviour).
 	DisableCoalescing bool
+	// ViewParallelism, when >= 2, lets view scans run the region-parallel
+	// evaluation (ViewOptions.Parallelism) with up to this many workers per
+	// scan. It is both the default and the cap: a request may lower it with
+	// ?parallel=N (N=0/1 forces the serial scan) but never raise it, so the
+	// operator bounds the per-request core budget. 0 (the default) keeps
+	// every scan serial. Coalesced shared scans parallelize as one unit:
+	// the batch runs at the largest parallelism among its members.
+	ViewParallelism int
 
 	// Logger receives the structured access log (one line per request with
 	// the trace ID) and lifecycle events. nil discards everything — quiet by
@@ -92,6 +100,7 @@ type Server struct {
 	viewSeconds   *trace.Histogram
 	viewBytes     *trace.Histogram
 	batchSubjects *trace.Histogram
+	viewWorkers   *trace.Histogram
 
 	requests   atomic.Int64
 	viewsOK    atomic.Int64
@@ -139,6 +148,7 @@ func New(opts Options) *Server {
 		viewSeconds:   trace.NewHistogram(viewSecondsBounds...),
 		viewBytes:     trace.NewHistogram(viewBytesBounds...),
 		batchSubjects: trace.NewHistogram(batchSubjectsBounds...),
+		viewWorkers:   trace.NewHistogram(viewWorkersBounds...),
 	}
 	if !opts.DisableTracing {
 		s.trace = xmlac.NewTrace(opts.TraceBufferSize)
@@ -529,6 +539,23 @@ func (vw *viewWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// viewParallelism resolves the effective ViewOptions.Parallelism of one
+// request: the server-wide Options.ViewParallelism is the default and the
+// cap, and a well-formed ?parallel=N may only lower it (N<=1 selects the
+// serial scan). Malformed values fall back to the server default rather than
+// erroring — parallelism is an execution strategy, never a semantics change,
+// so it does not merit a 400.
+func (s *Server) viewParallelism(param string) int {
+	p := s.opts.ViewParallelism
+	if param == "" {
+		return p
+	}
+	if n, err := strconv.Atoi(param); err == nil && n >= 0 && n < p {
+		return n
+	}
+	return p
+}
+
 func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	entry, err := s.store.Entry(r.PathValue("id"))
 	if err != nil {
@@ -550,6 +577,7 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		Query:            q.Get("query"),
 		DummyDeniedNames: q.Get("dummy") == "1" || q.Get("dummy") == "true",
 		Indent:           q.Get("indent") == "1" || q.Get("indent") == "true",
+		Parallelism:      s.viewParallelism(q.Get("parallel")),
 		// Evaluations record into the server's span ring under the request's
 		// trace ID, so /debug/trace spans correlate with access-log lines.
 		Trace:   s.trace,
@@ -652,6 +680,10 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	s.addTotals(accounting)
 	s.viewSeconds.Observe(metrics.Duration.Seconds())
 	s.viewBytes.Observe(float64(metrics.BytesTransferred))
+	// Workers is 0 for serial scans (including every parallel request that
+	// fell back), so the histogram's first bucket counts serial views and
+	// the tail shows how wide the parallel fan-outs actually ran.
+	s.viewWorkers.Observe(float64(metrics.Workers))
 	// An empty authorized view is a legitimate outcome of the closed policy:
 	// the body is empty and the metrics still reach the client.
 }

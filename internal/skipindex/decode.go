@@ -76,6 +76,13 @@ type Decoder struct {
 	// phase timers.
 	trace *trace.Context
 
+	// limit, when positive, is the end offset of a region scan: the decoder
+	// reports end-of-document as soon as the position reaches it with only
+	// the root element still open, instead of decoding the root's remaining
+	// children. Zero means no limit (whole-document scan). Region decoders
+	// are built by NewRegionDecoder.
+	limit int64
+
 	err error
 }
 
@@ -185,6 +192,14 @@ func (d *Decoder) Next() (xmlstream.Event, error) {
 
 // advance decodes the next construct and queues its events.
 func (d *Decoder) advance() error {
+	// A region decoder ends where its region does: once the position reaches
+	// the limit with only the root open, the remaining children belong to
+	// later regions. Checked before the close loop so the root element is
+	// never popped — its Close event is owned by the caller that stitched
+	// the regions together, not by any single region.
+	if d.limit > 0 && len(d.stack) == 2 && d.off >= d.limit {
+		return xmlstream.ErrEndOfDocument
+	}
 	// Close every element whose encoding is exhausted.
 	for len(d.stack) > 1 {
 		top := d.stack[len(d.stack)-1]

@@ -18,6 +18,17 @@
 //     buffer of completed spans that many evaluations write into, exported
 //     as JSONL (GET /debug/trace) or as a Chrome-trace JSON array
 //     (chrome://tracing, Perfetto) for offline inspection.
+//
+// Spans correlate across goroutines and across the trust boundary through
+// two links: the trace ID (one logical operation; a remote client propagates
+// it as X-Request-Id so the untrusted server's spans join the client's
+// trace) and the parent span ID (children point at the root span of the
+// context that recorded them). Context.Fork spawns a sibling context under
+// the same trace ID for concurrent work — the parallel scan forks one
+// context per region worker, so a fanned-out evaluation renders as parallel
+// lanes of a single trace in WriteChromeTraceLanes, one row per context.
+// Histogram is the fixed-bucket aggregation side used by the server's
+// Prometheus exposition.
 package trace
 
 import (
@@ -111,6 +122,20 @@ type Context struct {
 func New(rec *Recorder, id string) *Context {
 	now := time.Now()
 	return &Context{rec: rec, id: id, span: NewSpanID(), started: now, mark: now}
+}
+
+// Fork returns a new Context recording into the same Recorder under the same
+// trace ID, with its own root span and its own phase timers. A parallel scan
+// forks one context per region worker: the workers charge phases and record
+// spans concurrently without sharing the (single-goroutine) parent context,
+// and because the fork keeps the trace ID, every region's spans land in the
+// same trace — the fan-out renders as sibling lanes of one evaluation. Fork
+// of a nil Context is nil, so an untraced pipeline stays untraced.
+func (c *Context) Fork() *Context {
+	if c == nil {
+		return nil
+	}
+	return New(c.rec, c.id)
 }
 
 // NewSpanID returns a fresh 16-hex-digit random span ID.
@@ -459,14 +484,22 @@ func WriteChromeTraceLanes(w io.Writer, lanes []Lane) error {
 				Args: map[string]any{"name": lane.Name},
 			})
 		}
-		// Stable per-trace rows so concurrent evaluations do not interleave
-		// in one row of the viewer.
+		// Stable per-context rows: spans are grouped by the root span they
+		// hang off (the span's own ID for roots, the parent link for
+		// children), so concurrent evaluations do not interleave in one row
+		// of the viewer and the forked per-region contexts of a parallel
+		// scan render as parallel worker lanes under their shared trace ID.
 		rows := map[string]int{}
 		for _, s := range lane.Spans {
-			row, ok := rows[s.TraceID]
+			rootID := s.SpanID
+			if s.Parent != "" {
+				rootID = s.Parent
+			}
+			rowKey := s.TraceID + "\x00" + rootID
+			row, ok := rows[rowKey]
 			if !ok {
 				row = len(rows) + 1
-				rows[s.TraceID] = row
+				rows[rowKey] = row
 			}
 			args := map[string]any{}
 			if s.TraceID != "" {

@@ -1,0 +1,47 @@
+package xmlac_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"xmlac/internal/bench"
+)
+
+// BenchmarkParallelScan measures the region-parallel intra-document scan on
+// a scale-8 hospital document (~30 MB, 6400 patient folders): one doctor
+// view delivered serially (workers=1) and with 2, 4 and 8 region workers.
+// Before any timing, the harness delivers one view per worker count and
+// fails unless the parallel bytes are identical to the serial bytes and the
+// per-subject SOE counters are equal — the curve is only worth recording for
+// an execution strategy that provably changed nothing but the wall clock.
+//
+// The speedup is bounded by the cores actually available: ~linear until the
+// worker count passes GOMAXPROCS, flat after (a single-core runner measures
+// a flat curve plus the small stitching overhead). The measurement closures
+// live in internal/bench and also back the BENCH_parallel_scan.json artifact
+// and the BENCH_trajectory.jsonl curve appended by `xmlac-bench -json`.
+//
+// XMLAC_BENCH_SCALE overrides the dataset scale (CI's bench-smoke job runs
+// every benchmark once at a reduced scale to keep the fixture build cheap).
+func BenchmarkParallelScan(b *testing.B) {
+	scale := 8.0
+	if env := os.Getenv("XMLAC_BENCH_SCALE"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			b.Fatalf("XMLAC_BENCH_SCALE: %v", err)
+		}
+		scale = v
+	}
+	fx, err := bench.NewHospitalFixture(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fx.VerifyParallelParity(fx.Doctor, bench.ParallelScanWorkerCounts); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range bench.ParallelScanWorkerCounts {
+		b.Run(fmt.Sprintf("doctor/workers=%d", w), fx.ParallelScanView(fx.Doctor, w))
+	}
+}

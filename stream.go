@@ -95,7 +95,7 @@ func streamViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolicy, o
 	}
 	fw := &firstByteWriter{w: w, start: time.Now()}
 	coreOpts.Sink = xmlstream.NewViewSerializer(fw, opts.Indent)
-	_, metrics, err := runViewPipeline(opts.Context, src, key, cp, coreOpts)
+	_, metrics, err := runViewPipeline(opts.Context, src, key, cp, coreOpts, opts.Parallelism)
 	if metrics != nil {
 		metrics.TimeToFirstByte = fw.ttfb
 	}
@@ -109,6 +109,14 @@ func streamViewOverSource(src secure.ChunkSource, key Key, cp *CompiledPolicy, o
 func runMultiViewPipeline(src secure.ChunkSource, key Key, views []CompiledView) ([]ViewResult, error) {
 	if len(views) == 0 {
 		return nil, nil
+	}
+	if prot, ok := src.(*secure.Protected); ok {
+		if workers := multiParallelism(views); workers >= 2 {
+			results, err := runParallelMultiViewPipeline(prot, key, views, workers)
+			if !parallelFallback(err) {
+				return results, err
+			}
+		}
 	}
 	st := multiPool.Get().(*multiState)
 	defer multiPool.Put(st)

@@ -94,6 +94,32 @@
 // multicast cost ~2.7x one solo scan where 16 solo scans cost ~16x
 // (BenchmarkSharedScan).
 //
+// # Parallel scans
+//
+// Shared scans amortize one document across many subjects; ViewOptions.
+// Parallelism attacks the opposite hot spot — one big document, one (or a
+// few) subjects, many idle cores. The same Skip-index subtree sizes that
+// power constant-time skips make the scan decomposable: the root's children
+// are partitioned into byte-balanced regions, each region is decrypted,
+// integrity-checked, decoded and evaluated by its own worker over the shared
+// immutable ciphertext, and the sink events are stitched back into exact
+// document order:
+//
+//	metrics, _ := protected.StreamAuthorizedViewCompiled(key, cp,
+//	    xmlac.ViewOptions{Parallelism: 8}, w)
+//	fmt.Printf("%d workers\n", metrics.Workers)
+//
+// The delivered view is byte-identical to the serial scan's and the
+// per-subject decision counters are exactly equal; only the shared cost
+// fields (BytesTransferred, BytesDecrypted, EstimatedSmartCardSeconds) grow
+// by the region planning reads and the chunk re-decrypts at region
+// boundaries. Evaluations the region protocol cannot serve — queries,
+// root-anchored predicates unresolved at the end of the document prefix,
+// documents with fewer than two root children, remote documents — fall back
+// to the serial scan before any output is delivered. The region/merge
+// protocol and the invariant that makes it safe are documented in
+// docs/ARCHITECTURE.md.
+//
 // # Versioned in-place updates
 //
 // The chunked encryption layout exists so an edit re-encrypts only what it
@@ -572,6 +598,32 @@ type ViewOptions struct {
 	// points only: StreamAuthorizedView and friends; the materialized API
 	// picks the form at serialization time via XML / IndentedXML).
 	Indent bool
+	// Parallelism, when >= 2, requests the region-parallel scan for local
+	// evaluations: the Skip index partitions the root element's children
+	// into byte-balanced regions, up to Parallelism workers decrypt, verify
+	// and evaluate the regions concurrently (each through its own secure
+	// reader over the shared immutable ciphertext), and the delivered view
+	// is stitched back into exact document order. 0 and 1 select the serial
+	// scan.
+	//
+	// The guarantee: the view — materialized or streamed — is byte-identical
+	// to the serial scan's, and the per-subject decision counters
+	// (NodesPermitted, NodesDenied, NodesPending, SubtreesSkipped,
+	// BytesSkipped) are exactly equal. The cost fields BytesTransferred,
+	// BytesDecrypted and the derived EstimatedSmartCardSeconds are a
+	// documented superset: the region planning reads and every region
+	// boundary falling inside an integrity chunk re-transfer and re-decrypt
+	// bytes the serial pass pays for once. Metrics.Workers reports the
+	// worker count actually used.
+	//
+	// Evaluations that cannot ride the regions fall back to the serial scan
+	// transparently, before any byte is delivered: queries (their scope
+	// anchors at the document root), policies with a root-anchored predicate
+	// still unresolved after the document prefix (content in one region
+	// would decide delivery in another), documents whose root has fewer than
+	// two children, and remote documents (OpenRemote) or EvaluateDocument,
+	// which ignore Parallelism entirely.
+	Parallelism int
 	// Trace, when non-nil, turns on pipeline tracing for this evaluation:
 	// per-phase timers fill Metrics.PhaseBreakdown and spans (phase
 	// aggregates, remote fetches, re-syncs) are recorded into the Trace's
@@ -587,10 +639,12 @@ type ViewOptions struct {
 	// a remote document, so an abandoned view stops consuming the wire
 	// mid-request instead of at the next range boundary. The evaluation then
 	// fails with the transport's context error and, like any aborted stream,
-	// still reports its partial Metrics exactly once. Local evaluations have
-	// no wire to cut and ignore it (abort those through the output writer).
-	// Shared scans (AuthorizedViewsCompiled) ignore it too: the scan serves
-	// every subject, so no single request's context may cancel it.
+	// still reports its partial Metrics exactly once. Serial local
+	// evaluations have no wire to cut and ignore it (abort those through the
+	// output writer); a parallel local scan (Parallelism >= 2) honors it,
+	// aborting every region worker at its next event boundary. Shared scans
+	// (AuthorizedViewsCompiled) ignore it: the scan serves every subject, so
+	// no single request's context may cancel it.
 	Context context.Context
 }
 
@@ -639,8 +693,17 @@ type Metrics struct {
 	// PhaseBreakdown decomposes Duration into exclusive per-phase time. It
 	// is populated only when the evaluation ran with ViewOptions.Trace set;
 	// its sum tracks the instrumented portion of Duration (the gap is loop
-	// glue and setup outside any phase).
+	// glue and setup outside any phase). For a parallel scan the breakdown
+	// folds every region worker's phase time exactly once, so on a
+	// multi-core machine its sum may exceed the wall-clock Duration — it
+	// measures work, not elapsed time.
 	PhaseBreakdown PhaseBreakdown
+	// Workers is the number of region workers a parallel scan
+	// (ViewOptions.Parallelism) actually started; 0 for serial evaluations,
+	// including every parallel request that fell back to the serial scan.
+	// Aggregations sum it like every other counter; divide by the number of
+	// folded evaluations for an average.
+	Workers int64
 	// EstimatedSmartCardSeconds is the execution-time estimate on the
 	// hardware smart-card profile of the paper (Table 1).
 	EstimatedSmartCardSeconds float64
@@ -662,6 +725,7 @@ func (m *Metrics) Add(o *Metrics) {
 	m.TimeToFirstByte += o.TimeToFirstByte
 	m.Duration += o.Duration
 	m.PhaseBreakdown.Add(&o.PhaseBreakdown)
+	m.Workers += o.Workers
 	m.EstimatedSmartCardSeconds += o.EstimatedSmartCardSeconds
 }
 
