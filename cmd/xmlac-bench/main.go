@@ -146,7 +146,18 @@ func runJSON(scale, parallelScale float64, outDir, traceOut string, appendTraj b
 		fmt.Println("wrote", parallelPath)
 	}
 
-	all := append(append(append(shared, streaming...), updates...), parallel...)
+	// The WAL suite prices durability on the server's PATCH path: the same
+	// update round-trip in memory, with the WAL's group-commit fsyncs, and
+	// with the WAL but fsyncs disabled. A modest document keeps the arm
+	// runtimes dominated by the storage discipline, not the re-encryption.
+	walResults := bench.WALSuite(50)
+	walPath := filepath.Join(outDir, "BENCH_wal.json")
+	if err := bench.WriteJSON(walPath, walResults); err != nil {
+		return err
+	}
+	fmt.Println("wrote", walPath)
+
+	all := append(append(append(append(shared, streaming...), updates...), parallel...), walResults...)
 	if gatePct > 0 {
 		baseline, err := bench.NewestTrajectory(trajPath)
 		if err != nil {

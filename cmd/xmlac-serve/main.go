@@ -44,6 +44,7 @@ func main() {
 	demoFolders := flag.Int("demo-folders", 100, "folders in the demo hospital document")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + checkpoints); empty keeps the store in-memory")
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceBuffer := flag.Int("trace-buffer", 0, "spans retained for GET /debug/trace (0 selects the default; negative disables tracing)")
 	parallelism := flag.Int("parallelism", 0, "region workers per view scan (0 = serial; >= 2 enables the parallel intra-document scan and caps ?parallel=N)")
@@ -60,22 +61,34 @@ func main() {
 	if err != nil {
 		fatal(logger, "parsing scheme", err)
 	}
-	srv := server.New(server.Options{
+	srv, err := server.Open(server.Options{
 		CacheCapacity:   *cacheCap,
 		SessionIdle:     *sessionIdle,
 		DefaultScheme:   defScheme,
+		DataDir:         *dataDir,
 		Logger:          logger,
 		EnablePprof:     *pprof,
 		TraceBufferSize: *traceBuffer,
 		DisableTracing:  *traceBuffer < 0,
 		ViewParallelism: *parallelism,
 	})
+	if err != nil {
+		fatal(logger, "opening server", err)
+	}
+	defer srv.Close()
 	if *demo {
-		if err := preloadDemo(srv, *demoFolders); err != nil {
-			fatal(logger, "preloading demo content", err)
+		// A recovered hospital document keeps its version chain (and the
+		// retained deltas remote caches resync from); re-registering it would
+		// reset both, so the preload only fills an absent document.
+		if _, err := srv.Store().Entry("hospital"); err == nil {
+			logger.Info("demo document recovered from data dir, preload skipped", "document", "hospital")
+		} else {
+			if err := preloadDemo(srv, *demoFolders); err != nil {
+				fatal(logger, "preloading demo content", err)
+			}
+			logger.Info("demo document loaded", "document", "hospital",
+				"subjects", "secretary, DrA..DrH, researcher", "folders", *demoFolders)
 		}
-		logger.Info("demo document loaded", "document", "hospital",
-			"subjects", "secretary, DrA..DrH, researcher", "folders", *demoFolders)
 	}
 
 	httpSrv := &http.Server{
@@ -132,11 +145,12 @@ func fatal(logger *slog.Logger, msg string, err error) {
 }
 
 // preloadDemo registers the paper's hospital document and the three profile
-// policies of the motivating example (Figure 1).
+// policies of the motivating example (Figure 1). It goes through the server's
+// registration pipeline (not the bare store) so the demo content is durable
+// when -data-dir is set.
 func preloadDemo(srv *server.Server, folders int) error {
 	xml := xmlstream.SerializeTree(dataset.HospitalFolders(folders, 2026), false)
-	entry, err := srv.Store().RegisterXML("hospital", xml, "", xmlac.SchemeECBMHT)
-	if err != nil {
+	if _, err := srv.RegisterDocument("hospital", xml, "", xmlac.SchemeECBMHT); err != nil {
 		return err
 	}
 	policies := []xmlac.Policy{xmlac.SecretaryPolicy(), xmlac.ResearcherPolicy("G1", "G2", "G3")}
@@ -144,7 +158,7 @@ func preloadDemo(srv *server.Server, folders int) error {
 		policies = append(policies, xmlac.DoctorPolicy(phys))
 	}
 	for _, p := range policies {
-		if _, err := entry.SetPolicy(p.Subject, p); err != nil {
+		if _, err := srv.InstallPolicy("hospital", p.Subject, p); err != nil {
 			return fmt.Errorf("policy for %q: %w", p.Subject, err)
 		}
 	}

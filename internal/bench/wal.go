@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"xmlac"
+	"xmlac/internal/dataset"
+	"xmlac/internal/server"
+	"xmlac/internal/xmlstream"
+)
+
+// The WAL suite prices durability: the same PATCH round-trip measured
+// against an in-memory server, a durable server (group-commit fsync on the
+// request path), and a durable server with fsyncs disabled — the last arm
+// separates the WAL's encoding/append cost from the disk-flush cost.
+
+// walArm is one storage configuration of the update-throughput measurement.
+type walArm struct {
+	name    string
+	durable bool
+	noSync  bool
+}
+
+// walUpdate measures sequential PATCH requests against a freshly registered
+// hospital document on a server in the given storage configuration. Each
+// iteration is one full round-trip: HTTP in, chunk-granular re-encryption,
+// (for the durable arms) a WAL append + group commit, HTTP out.
+func walUpdate(arm walArm, folders int) func(*testing.B) {
+	return func(b *testing.B) {
+		opts := server.Options{
+			// The bench binary must not flood stdout with access logs.
+			Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+			DisableTracing: true,
+		}
+		if arm.durable {
+			dir, err := os.MkdirTemp("", "xmlac-bench-wal-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			opts.DataDir = dir
+			opts.StorageNoSync = arm.noSync
+		}
+		srv, err := server.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		xml := xmlstream.SerializeTree(dataset.HospitalFolders(folders, 2026), false)
+		if _, err := srv.RegisterDocument("hospital", xml, "", xmlac.SchemeECBMHT); err != nil {
+			b.Fatal(err)
+		}
+		values := []string{"Alice", "Bob"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := fmt.Sprintf(
+				`{"edits":[{"op":"set-text","path":"/Hospital/Folder[2]/Admin/Fname","text":%q}]}`,
+				values[i%2])
+			req, err := http.NewRequest(http.MethodPatch, ts.URL+"/docs/hospital", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("PATCH %d: status %d", i, resp.StatusCode)
+			}
+		}
+	}
+}
+
+// WALSuite measures update throughput across the three storage arms and
+// returns the results in the stable schema (BENCH_wal.json).
+func WALSuite(folders int) []Result {
+	arms := []walArm{
+		{name: "memory"},
+		{name: "wal", durable: true},
+		{name: "wal-nosync", durable: true, noSync: true},
+	}
+	var out []Result
+	for _, arm := range arms {
+		out = append(out, Run("WALUpdate/"+arm.name, walUpdate(arm, folders)))
+	}
+	return out
+}

@@ -80,7 +80,7 @@ func (c *coalescer) openBatchCount() int {
 // never advances, so the join window cannot elapse early on a loaded
 // runner — the cap alone seals the batch, deterministically.
 func TestViewCoalescingSharedScan(t *testing.T) {
-	srv := New(Options{CoalesceWindow: 2 * time.Second, CoalesceMaxSubjects: 3, clock: newFakeClock()})
+	srv := newServerOpts(t, Options{CoalesceWindow: 2 * time.Second, CoalesceMaxSubjects: 3, clock: newFakeClock()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -210,7 +210,7 @@ func TestViewCoalescingSharedScan(t *testing.T) {
 // racing a real 5ms timer.
 func TestViewCoalescingSingleton(t *testing.T) {
 	fc := newFakeClock()
-	srv := New(Options{CoalesceWindow: 5 * time.Millisecond, clock: fc})
+	srv := newServerOpts(t, Options{CoalesceWindow: 5 * time.Millisecond, clock: fc})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	putDoc(t, ts, "doc", hospitalXML(4))
@@ -248,7 +248,7 @@ func TestViewCoalescingSingleton(t *testing.T) {
 // TestViewCoalescingDisabled: DisableCoalescing restores the solo path and
 // /metrics reports coalescing off.
 func TestViewCoalescingDisabled(t *testing.T) {
-	srv := New(Options{DisableCoalescing: true})
+	srv := newServerOpts(t, Options{DisableCoalescing: true})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	putDoc(t, ts, "doc", hospitalXML(4))

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmlac"
+	"xmlac/internal/storage"
+)
+
+// researcherRulesJSON is the third profile of the torture matrix: a subject
+// whose view (the analysis results) is disjoint from the secretary's.
+const researcherRulesJSON = `{"rules":[{"id":"R1","sign":"+","object":"//Analysis"}]}`
+
+// crashSnapshot is the externally observable state of the store at one
+// durable prefix: per-subject view responses plus the document version.
+type crashSnapshot struct {
+	label   string
+	found   bool
+	version uint64
+	views   map[string]string // subject -> status-prefixed body
+}
+
+// captureCrashState reads the three profiles' views and the version through
+// the public surface, exactly as a client would after a crash restart.
+func captureCrashState(t *testing.T, srv *Server, ts *httptest.Server, label string, subjects []string) crashSnapshot {
+	t.Helper()
+	snap := crashSnapshot{label: label, views: map[string]string{}}
+	if entry, err := srv.Store().Entry("hospital"); err == nil {
+		snap.found = true
+		snap.version = entry.Version()
+	}
+	for _, s := range subjects {
+		resp, body := do(t, http.MethodGet, ts.URL+"/docs/hospital/view?subject="+s, "")
+		snap.views[s] = fmt.Sprintf("%d\x00%s", resp.StatusCode, body)
+	}
+	return snap
+}
+
+// copyDataDir copies the flat storage directory (LOCK, wal.log, possibly
+// checkpoint.db) so each torture case mutilates its own private copy.
+func copyDataDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("unexpected subdirectory %s in data dir", e.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashRecoveryTorture builds a reference history of seven mutations
+// (register, three profile policies, three PATCHes), records the expected
+// observable state after each durable prefix, then — for every WAL record —
+// truncates the log at the record boundary, truncates it mid-record, and
+// flips a payload byte, reopening the store each time. Recovery must land
+// exactly on the state of the longest intact prefix: all three profiles'
+// views byte-identical to the reference, never a torn or improvised state.
+func TestCrashRecoveryTorture(t *testing.T) {
+	subjects := []string{"secretary", "DrA", "researcher"}
+	base := t.TempDir()
+	srcDir := filepath.Join(base, "reference")
+
+	srv, ts := openDurable(t, srcDir, Options{})
+	steps := []struct {
+		label string
+		run   func()
+	}{
+		{"register", func() { putDoc(t, ts, "hospital", hospitalXML(4)) }},
+		{"policy-secretary", func() { putPolicy(t, ts, "hospital", "secretary", secretaryRulesJSON) }},
+		{"policy-doctor", func() { putPolicy(t, ts, "hospital", "DrA", doctorRulesJSON) }},
+		{"policy-researcher", func() { putPolicy(t, ts, "hospital", "researcher", researcherRulesJSON) }},
+		{"patch-1", func() {
+			if status, _, body := patchDoc(t, ts, "hospital",
+				`{"op":"set-text","path":"/Hospital/Folder[2]/Admin/Fname","text":"edit-one"}`); status != http.StatusOK {
+				t.Fatalf("patch-1: %d %s", status, body)
+			}
+		}},
+		{"patch-2", func() {
+			if status, _, body := patchDoc(t, ts, "hospital",
+				`{"op":"insert","path":"/Hospital","xml":"<Folder><Admin><Fname>edit-two</Fname></Admin></Folder>"}`); status != http.StatusOK {
+				t.Fatalf("patch-2: %d %s", status, body)
+			}
+		}},
+		{"patch-3", func() {
+			if status, _, body := patchDoc(t, ts, "hospital",
+				`{"op":"set-text","path":"/Hospital/Folder[1]/Admin/Fname","text":"edit-three"}`); status != http.StatusOK {
+				t.Fatalf("patch-3: %d %s", status, body)
+			}
+		}},
+	}
+
+	// expected[k] is the observable state after the first k mutations.
+	expected := []crashSnapshot{captureCrashState(t, srv, ts, "empty", subjects)}
+	for _, step := range steps {
+		step.run()
+		expected = append(expected, captureCrashState(t, srv, ts, step.label, subjects))
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(srcDir, "wal.log")
+	positions, err := storage.ReadWALFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(positions) != len(steps) {
+		t.Fatalf("reference WAL holds %d records, want one per mutation (%d)", len(positions), len(steps))
+	}
+
+	// check reopens a mutilated copy of the reference directory and demands
+	// the state of durable prefix k, including a working delta resync when
+	// the recovered document has update history.
+	caseNum := 0
+	check := func(name string, k int, mutate func(wal string)) {
+		t.Helper()
+		caseNum++
+		dir := filepath.Join(base, fmt.Sprintf("case-%03d-%s", caseNum, name))
+		copyDataDir(t, srcDir, dir)
+		mutate(filepath.Join(dir, "wal.log"))
+		srv2, ts2 := openDurable(t, dir, Options{})
+		got := captureCrashState(t, srv2, ts2, name, subjects)
+		want := expected[k]
+		if got.found != want.found || got.version != want.version {
+			t.Fatalf("%s: recovered found=%v version=%d, want state %q (found=%v version=%d)",
+				name, got.found, got.version, want.label, want.found, want.version)
+		}
+		for _, s := range subjects {
+			if got.views[s] != want.views[s] {
+				t.Fatalf("%s: view for %s differs from durable state %q", name, s, want.label)
+			}
+		}
+		if want.found && want.version > 1 {
+			resp, body := do(t, http.MethodGet, ts2.URL+"/docs/hospital/delta?from="+fmt.Sprint(want.version-1), "")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: delta resync from=%d: %d", name, want.version-1, resp.StatusCode)
+			}
+			delta, err := xmlac.UnmarshalUpdateDelta([]byte(body))
+			if err != nil {
+				t.Fatalf("%s: delta resync: %v", name, err)
+			}
+			if delta.ToVersion != want.version {
+				t.Fatalf("%s: delta resync lands on %d, want %d", name, delta.ToVersion, want.version)
+			}
+		}
+		ts2.Close()
+		if err := srv2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	truncateTo := func(n int64) func(string) {
+		return func(wal string) {
+			if err := os.Truncate(wal, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	flipByteAt := func(off int64) func(string) {
+		return func(wal string) {
+			data, err := os.ReadFile(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[off] ^= 0xFF
+			if err := os.WriteFile(wal, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Clean cuts at every record boundary: prefix of exactly k records.
+	for k := 0; k <= len(positions); k++ {
+		cut := positions[0].Start // k == 0: keep only the file header
+		if k > 0 {
+			cut = positions[k-1].End
+		}
+		check(fmt.Sprintf("boundary-%d", k), k, truncateTo(cut))
+	}
+	if testing.Short() {
+		return
+	}
+	for k := 0; k < len(positions); k++ {
+		// A tear inside record k's frame drops it and everything after.
+		mid := positions[k].Start + (positions[k].End-positions[k].Start)/2
+		check(fmt.Sprintf("midrecord-%d", k), k, truncateTo(mid))
+		// A flipped payload byte in record k fails its CRC: replay stops at k
+		// records even though the file continues past the corruption.
+		check(fmt.Sprintf("corrupt-%d", k), k, flipByteAt(positions[k].Start+frameHeaderOffset))
+	}
+}
+
+// frameHeaderOffset is the first payload byte of a WAL frame (after the
+// crc32 and length words); flipping it breaks the frame's checksum.
+const frameHeaderOffset = 8

@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"time"
 
 	"xmlac"
 	"xmlac/internal/trace"
@@ -111,8 +110,11 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		}
 		w.Header().Set(requestIDHeader, id)
 		sw := &statusWriter{ResponseWriter: w}
-		start := time.Now()
+		// The injected clock times the request (not time.Now directly), so the
+		// access-log duration is deterministic under the fake clock in tests.
+		start := s.opts.clock.Now()
 		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		elapsed := s.opts.clock.Now().Sub(start)
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK // handler returned without writing anything
@@ -123,7 +125,7 @@ func (s *Server) observe(next http.Handler) http.Handler {
 				SpanID:  trace.NewSpanID(),
 				Name:    name,
 				Start:   start,
-				Dur:     time.Since(start),
+				Dur:     elapsed,
 				Bytes:   sw.bytes,
 				Detail:  r.Method + " " + r.URL.Path + " -> " + strconv.Itoa(status),
 			}
@@ -141,7 +143,7 @@ func (s *Server) observe(next http.Handler) http.Handler {
 			slog.String("path", r.URL.Path),
 			slog.Int("status", status),
 			slog.Int64("bytes", sw.bytes),
-			slog.Duration("duration", time.Since(start)),
+			slog.Duration("duration", elapsed),
 		}
 		if subject := r.URL.Query().Get("subject"); subject != "" {
 			attrs = append(attrs, slog.String("subject", subject))

@@ -20,7 +20,7 @@ func newLoggedServer(t *testing.T, opts Options) (*Server, *httptest.Server, *lo
 	t.Helper()
 	buf := &lockedBuffer{}
 	opts.Logger = slog.New(slog.NewJSONHandler(buf, nil))
-	srv := New(opts)
+	srv := newServerOpts(t, opts)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts, buf
@@ -174,7 +174,7 @@ func TestPprofGatedBehindOption(t *testing.T) {
 		t.Fatalf("pprof must be absent by default, got %d", resp.StatusCode)
 	}
 
-	srv := New(Options{EnablePprof: true})
+	srv := newServerOpts(t, Options{EnablePprof: true})
 	tsOn := httptest.NewServer(srv.Handler())
 	defer tsOn.Close()
 	resp, body := do(t, http.MethodGet, tsOn.URL+"/debug/pprof/cmdline", "")

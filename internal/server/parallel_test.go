@@ -21,7 +21,7 @@ import (
 // views (the region workers all read one immutable snapshot).
 
 func TestParallelViewByteIdenticalAndClamped(t *testing.T) {
-	srv := New(Options{ViewParallelism: 4})
+	srv := newServerOpts(t, Options{ViewParallelism: 4})
 	ts := newServerFor(t, srv)
 	xml := hospitalXML(24)
 	putDoc(t, ts, "hospital", xml)
@@ -154,7 +154,7 @@ func expectedClerkViews(t *testing.T, xml string, steps int, valueA, valueB func
 // never a torn mix — because every region worker of one scan reads the same
 // immutable snapshot. Run under -race in CI (the whole test job is).
 func TestConcurrentPatchAndParallelViews(t *testing.T) {
-	srv := New(Options{ViewParallelism: 4})
+	srv := newServerOpts(t, Options{ViewParallelism: 4})
 	ts := newServerFor(t, srv)
 	const folders = 8
 	xml := xmlstream.SerializeTree(dataset.HospitalFolders(folders, 7), false)

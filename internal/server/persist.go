@@ -1,0 +1,358 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"xmlac"
+	"xmlac/internal/storage"
+)
+
+// The persistence glue between the Store and internal/storage. The storage
+// engine is payload-blind; this file composes its opaque records and
+// interprets them again on replay:
+//
+//   - RecordRegister — Meta: registerMeta JSON, Blob: the full container.
+//   - RecordPolicy   — Meta: policyMeta JSON (rules + timestamp).
+//   - RecordPatch    — Meta: the marshalled binary UpdateDelta (PR 5's wire
+//     format), Blob: prefixLen u32 | new container prefix | dirty chunk
+//     bytes | sha256 of the new container. Clean chunks are reconstructed
+//     from the previous version's blob — the chunk layout is position-bound,
+//     so a clean chunk is byte-identical at the same offsets — and the hash
+//     check fails recovery loudly on any mismatch.
+//   - RecordDelete   — no payload.
+//
+// Checkpoints snapshot every document as registerMeta plus its policies and
+// retained update history (checkpointDocMeta), so delta resync keeps working
+// across a restart even after the WAL was compacted away.
+
+// DefaultCheckpointWALBytes is the WAL size that triggers a compacting
+// checkpoint when Options.CheckpointWALBytes is unset.
+const DefaultCheckpointWALBytes = 8 << 20
+
+// registerMeta is the durable registration metadata of one document.
+type registerMeta struct {
+	Scheme     string      `json:"scheme"`
+	Passphrase string      `json:"passphrase"`
+	CreatedAt  time.Time   `json:"created_at"`
+	Stats      xmlac.Stats `json:"stats"`
+}
+
+// policyRuleMeta mirrors xmlac.Rule for the durable form.
+type policyRuleMeta struct {
+	ID     string `json:"id"`
+	Sign   string `json:"sign"`
+	Object string `json:"object"`
+}
+
+// policyMeta is the durable form of one subject's policy record (the
+// fingerprint is content-addressed and recomputed on replay).
+type policyMeta struct {
+	Rules     []policyRuleMeta `json:"rules"`
+	UpdatedAt time.Time        `json:"updated_at"`
+}
+
+// checkpointDocMeta is one document's full durable state in a checkpoint.
+type checkpointDocMeta struct {
+	registerMeta
+	Policies map[string]policyMeta `json:"policies,omitempty"`
+	// Deltas is the retained update history, each step in the binary
+	// UpdateDelta wire format (base64 in the JSON).
+	Deltas [][]byte `json:"deltas,omitempty"`
+}
+
+func policyToMeta(p xmlac.Policy, updatedAt time.Time) policyMeta {
+	m := policyMeta{UpdatedAt: updatedAt}
+	for _, r := range p.Rules {
+		m.Rules = append(m.Rules, policyRuleMeta{ID: r.ID, Sign: r.Sign, Object: r.Object})
+	}
+	return m
+}
+
+func metaToPolicy(subject string, m policyMeta) xmlac.Policy {
+	p := xmlac.Policy{Subject: subject}
+	for _, r := range m.Rules {
+		p.Rules = append(p.Rules, xmlac.Rule{ID: r.ID, Sign: r.Sign, Object: r.Object})
+	}
+	return p
+}
+
+// persister owns the storage engine on behalf of the server. Mutation
+// handlers log through it after applying to the in-memory store and before
+// acknowledging the request, so an acknowledged mutation is always durable.
+type persister struct {
+	engine    *storage.Engine
+	store     *Store
+	logger    *slog.Logger
+	threshold int64
+
+	// mu orders appends against checkpoints: appends hold it shared,
+	// a checkpoint exclusively — so no record can land between the state
+	// snapshot and the WAL truncation and be silently compacted away.
+	mu sync.RWMutex
+}
+
+// append frames one record durably and triggers a compacting checkpoint when
+// the log has grown past the threshold.
+func (p *persister) append(rec storage.Record) error {
+	p.mu.RLock()
+	err := p.engine.Append(rec)
+	p.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if p.engine.WALSize() >= p.threshold {
+		if cerr := p.checkpoint(); cerr != nil {
+			// The append is durable either way; a failed compaction only
+			// leaves a longer log. Surface it in the log, not the request.
+			p.logger.Error("storage checkpoint failed", slog.Any("error", cerr))
+		}
+	}
+	return nil
+}
+
+// logRegister records a (re-)registration as a full-blob record.
+func (p *persister) logRegister(e *DocumentEntry) error {
+	e.mu.RLock()
+	blob := e.blob
+	e.mu.RUnlock()
+	meta, err := json.Marshal(registerMeta{
+		Scheme:     string(e.Scheme),
+		Passphrase: e.passphrase,
+		CreatedAt:  e.CreatedAt,
+		Stats:      e.Stats,
+	})
+	if err != nil {
+		return err
+	}
+	return p.append(storage.Record{Type: storage.RecordRegister, Doc: e.ID, Meta: meta, Blob: blob})
+}
+
+// logPolicy records one subject's policy installation.
+func (p *persister) logPolicy(docID, subject string, rec PolicyRecord) error {
+	meta, err := json.Marshal(policyToMeta(rec.Policy, rec.UpdatedAt))
+	if err != nil {
+		return err
+	}
+	return p.append(storage.Record{Type: storage.RecordPolicy, Doc: docID, Subject: subject, Meta: meta})
+}
+
+// logPatch records one applied update as a delta record. The dirty chunk
+// bytes are cut from the entry's published blob; if another update raced in
+// between (the blob no longer matches the delta's ToVersion), the record
+// falls back to a full-blob registration of the current state — larger but
+// always correct.
+func (p *persister) logPatch(e *DocumentEntry, delta *xmlac.UpdateDelta) error {
+	e.mu.RLock()
+	blob := e.blob
+	man := e.manifest
+	version := e.version
+	e.mu.RUnlock()
+	if version != delta.ToVersion {
+		p.logger.Warn("patch record superseded before logging; falling back to full-blob record",
+			slog.String("doc", e.ID), slog.Uint64("delta_to", delta.ToVersion), slog.Uint64("blob_version", version))
+		return p.logRegister(e)
+	}
+	payload := make([]byte, 0, 4+man.CiphertextOffset+delta.BytesReencrypted+sha256Size)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(man.CiphertextOffset))
+	payload = append(payload, blob[:man.CiphertextOffset]...)
+	cs := int64(man.ChunkSize)
+	for _, chunk := range delta.DirtyChunks {
+		start := int64(chunk) * cs
+		end := start + cs
+		if end > man.CiphertextLen {
+			end = man.CiphertextLen
+		}
+		payload = append(payload, blob[man.CiphertextOffset+start:man.CiphertextOffset+end]...)
+	}
+	payload = append(payload, blobSum(blob)...)
+	return p.append(storage.Record{Type: storage.RecordPatch, Doc: e.ID, Meta: delta.Marshal(), Blob: payload})
+}
+
+// logDelete records a document removal.
+func (p *persister) logDelete(docID string) error {
+	return p.append(storage.Record{Type: storage.RecordDelete, Doc: docID})
+}
+
+// checkpoint snapshots every document (sorted by id, deterministic layout)
+// and compacts the WAL into a fresh page-file generation.
+func (p *persister) checkpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.engine.WALSize() < p.threshold {
+		return nil // another appender's checkpoint got here first
+	}
+	return p.engine.Checkpoint(p.snapshot())
+}
+
+// snapshot captures the full durable state of the store. Callers hold p.mu
+// exclusively, so no mutation can be logged while the snapshot is cut.
+func (p *persister) snapshot() []storage.DocSnapshot {
+	p.store.mu.RLock()
+	entries := make([]*DocumentEntry, 0, len(p.store.docs))
+	for _, e := range p.store.docs {
+		entries = append(entries, e)
+	}
+	p.store.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	snaps := make([]storage.DocSnapshot, 0, len(entries))
+	for _, e := range entries {
+		e.mu.RLock()
+		meta := checkpointDocMeta{
+			registerMeta: registerMeta{
+				Scheme:     string(e.Scheme),
+				Passphrase: e.passphrase,
+				CreatedAt:  e.CreatedAt,
+				Stats:      e.Stats,
+			},
+		}
+		if len(e.policies) > 0 {
+			meta.Policies = make(map[string]policyMeta, len(e.policies))
+			for subject, rec := range e.policies {
+				meta.Policies[subject] = policyToMeta(rec.Policy, rec.UpdatedAt)
+			}
+		}
+		for _, d := range e.deltas {
+			meta.Deltas = append(meta.Deltas, d.Marshal())
+		}
+		blob := e.blob
+		e.mu.RUnlock()
+		mb, err := json.Marshal(meta)
+		if err != nil {
+			// Every field is a plain string/time/int aggregate; a marshal
+			// failure is a programming error, not an operational state.
+			panic(fmt.Sprintf("server: marshalling checkpoint metadata for %q: %v", e.ID, err))
+		}
+		snaps = append(snaps, storage.DocSnapshot{Doc: e.ID, Meta: mb, Blob: blob})
+	}
+	return snaps
+}
+
+func (p *persister) close() error {
+	return p.engine.Close()
+}
+
+const sha256Size = 32
+
+// blobSum returns the sha256 of a container blob — the check value a patch
+// record carries so recovery can verify its reconstruction byte for byte.
+func blobSum(blob []byte) []byte {
+	sum := sha256.Sum256(blob)
+	return sum[:]
+}
+
+// recoverPersisted rebuilds the in-memory store from the engine's recovered
+// state: every checkpointed document first, then the durable WAL prefix in
+// append order. Stale patch records (the checkpoint-overlap window after a
+// crash between checkpoint rename and WAL reset) are skipped; any other
+// inconsistency fails the open — a durable store that cannot reproduce its
+// last acknowledged state must refuse to start, not improvise one.
+func (s *Server) recoverPersisted(eng *storage.Engine) (docs, replayed int, err error) {
+	for _, cd := range eng.CheckpointDocs() {
+		var meta checkpointDocMeta
+		if err := json.Unmarshal(cd.Meta, &meta); err != nil {
+			return docs, replayed, fmt.Errorf("checkpoint metadata for %q: %w", cd.Doc, err)
+		}
+		blob, err := eng.ReadBlob(cd)
+		if err != nil {
+			return docs, replayed, err
+		}
+		entry, err := s.store.installRecovered(cd.Doc, xmlac.Scheme(meta.Scheme), meta.Stats, meta.CreatedAt, meta.Passphrase, blob)
+		if err != nil {
+			return docs, replayed, err
+		}
+		for _, subject := range sortedKeys(meta.Policies) {
+			if err := entry.setRecoveredPolicy(subject, metaToPolicy(subject, meta.Policies[subject]), meta.Policies[subject].UpdatedAt); err != nil {
+				return docs, replayed, fmt.Errorf("recovering policy %q/%q: %w", cd.Doc, subject, err)
+			}
+		}
+		if len(meta.Deltas) > 0 {
+			deltas := make([]*xmlac.UpdateDelta, 0, len(meta.Deltas))
+			for i, raw := range meta.Deltas {
+				d, err := xmlac.UnmarshalUpdateDelta(raw)
+				if err != nil {
+					return docs, replayed, fmt.Errorf("recovering delta %d of %q: %w", i, cd.Doc, err)
+				}
+				deltas = append(deltas, d)
+			}
+			entry.restoreDeltas(deltas)
+		}
+		docs++
+	}
+	for i, rec := range eng.WALRecords() {
+		if err := s.replayRecord(rec); err != nil {
+			return docs, replayed, fmt.Errorf("replaying WAL record %d (%q): %w", i, rec.Doc, err)
+		}
+		replayed++
+	}
+	return docs, replayed, nil
+}
+
+// replayRecord applies one recovered WAL record to the in-memory store.
+func (s *Server) replayRecord(rec storage.Record) error {
+	switch rec.Type {
+	case storage.RecordRegister:
+		var meta registerMeta
+		if err := json.Unmarshal(rec.Meta, &meta); err != nil {
+			return fmt.Errorf("registration metadata: %w", err)
+		}
+		_, err := s.store.installRecovered(rec.Doc, xmlac.Scheme(meta.Scheme), meta.Stats, meta.CreatedAt, meta.Passphrase, rec.Blob)
+		return err
+	case storage.RecordPolicy:
+		entry, err := s.store.Entry(rec.Doc)
+		if err != nil {
+			return err
+		}
+		var meta policyMeta
+		if err := json.Unmarshal(rec.Meta, &meta); err != nil {
+			return fmt.Errorf("policy metadata: %w", err)
+		}
+		return entry.setRecoveredPolicy(rec.Subject, metaToPolicy(rec.Subject, meta), meta.UpdatedAt)
+	case storage.RecordPatch:
+		entry, err := s.store.Entry(rec.Doc)
+		if err != nil {
+			return err
+		}
+		delta, err := xmlac.UnmarshalUpdateDelta(rec.Meta)
+		if err != nil {
+			return fmt.Errorf("patch delta: %w", err)
+		}
+		if len(rec.Blob) < 4+sha256Size {
+			return fmt.Errorf("patch payload is %d bytes, shorter than its framing", len(rec.Blob))
+		}
+		prefixLen := int(binary.LittleEndian.Uint32(rec.Blob[:4]))
+		if 4+prefixLen+sha256Size > len(rec.Blob) {
+			return fmt.Errorf("patch prefix length %d exceeds the payload", prefixLen)
+		}
+		prefix := rec.Blob[4 : 4+prefixLen]
+		dirty := rec.Blob[4+prefixLen : len(rec.Blob)-sha256Size]
+		sum := rec.Blob[len(rec.Blob)-sha256Size:]
+		if err := entry.applyRecoveredPatch(delta, prefix, dirty, sum); err != nil {
+			if err == errStalePatch {
+				return nil
+			}
+			return err
+		}
+		return nil
+	case storage.RecordDelete:
+		s.store.Remove(rec.Doc)
+		return nil
+	}
+	return fmt.Errorf("unknown record type %d", rec.Type)
+}
+
+// sortedKeys returns the map's keys sorted, for deterministic replay order.
+func sortedKeys(m map[string]policyMeta) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xmlac"
+)
+
+// openDurable opens a server over a fixed data directory (unlike
+// newServerOpts, which allocates a private one). Tests close the returned
+// pair explicitly before reopening the directory — the storage engine's
+// flock rejects a second concurrent open — and the cleanup close is a
+// no-throw safety net for failure paths.
+func openDurable(t *testing.T, dir string, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	opts.DataDir = dir
+	srv, err := Open(opts)
+	if err != nil {
+		t.Fatalf("opening durable server on %s: %v", dir, err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// getOK fetches a URL and fails the test unless it answers 200.
+func getOK(t *testing.T, url string) string {
+	t.Helper()
+	resp, body := do(t, http.MethodGet, url, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestPersistenceRoundTrip: register + policies + two PATCHes, close the
+// server, reopen the same data directory, and verify the recovered state is
+// byte-identical on every surface a client resynchronizes from — views,
+// blob + ETag, manifest, and the merged delta — then that the recovered
+// document accepts further updates.
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := openDurable(t, dir, Options{})
+
+	putDoc(t, ts, "hospital", hospitalXML(8))
+	putPolicy(t, ts, "hospital", "secretary", secretaryRulesJSON)
+	putPolicy(t, ts, "hospital", "DrA", doctorRulesJSON)
+	if status, version, body := patchDoc(t, ts, "hospital",
+		`{"op":"set-text","path":"/Hospital/Folder[2]/Admin/Fname","text":"durable"}`); status != http.StatusOK || version != 2 {
+		t.Fatalf("first PATCH: %d / %d (%s)", status, version, body)
+	}
+	if status, version, body := patchDoc(t, ts, "hospital",
+		`{"op":"insert","path":"/Hospital","xml":"<Folder><Admin><Fname>appended</Fname></Admin></Folder>"}`); status != http.StatusOK || version != 3 {
+		t.Fatalf("second PATCH: %d / %d (%s)", status, version, body)
+	}
+
+	subjects := []string{"secretary", "DrA"}
+	views := map[string]string{}
+	for _, s := range subjects {
+		views[s] = getOK(t, ts.URL+"/docs/hospital/view?subject="+s)
+	}
+	blobResp, blob := do(t, http.MethodGet, ts.URL+"/docs/hospital/blob", "")
+	if blobResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /blob: %d", blobResp.StatusCode)
+	}
+	etag := blobResp.Header.Get("ETag")
+	manifest := getOK(t, ts.URL+"/docs/hospital/manifest")
+	delta := getOK(t, ts.URL+"/docs/hospital/delta?from=1")
+
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("closing server: %v", err)
+	}
+
+	srv2, ts2 := openDurable(t, dir, Options{})
+	entry, err := srv2.Store().Entry("hospital")
+	if err != nil {
+		t.Fatalf("document not recovered: %v", err)
+	}
+	if v := entry.Version(); v != 3 {
+		t.Fatalf("recovered at version %d, want 3", v)
+	}
+	for _, s := range subjects {
+		if got := getOK(t, ts2.URL+"/docs/hospital/view?subject="+s); got != views[s] {
+			t.Fatalf("recovered view for %s differs from the pre-restart view", s)
+		}
+	}
+	blobResp2, blob2 := do(t, http.MethodGet, ts2.URL+"/docs/hospital/blob", "")
+	if blob2 != blob {
+		t.Fatal("recovered blob differs from the pre-restart blob")
+	}
+	if got := blobResp2.Header.Get("ETag"); got != etag {
+		t.Fatalf("recovered ETag %s, want %s (If-Range revalidation would break)", got, etag)
+	}
+	if got := getOK(t, ts2.URL+"/docs/hospital/manifest"); got != manifest {
+		t.Fatal("recovered manifest differs")
+	}
+
+	// Delta resync across restart: a client holding version 1 from before the
+	// restart gets the identical merged 1 -> 3 delta from the recovered server.
+	if got := getOK(t, ts2.URL+"/docs/hospital/delta?from=1"); got != delta {
+		t.Fatal("recovered delta from=1 differs from the pre-restart delta")
+	}
+	parsed, err := xmlac.UnmarshalUpdateDelta([]byte(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.FromVersion != 1 || parsed.ToVersion != 3 {
+		t.Fatalf("delta %d->%d, want 1->3", parsed.FromVersion, parsed.ToVersion)
+	}
+	if resp, _ := do(t, http.MethodGet, ts2.URL+"/docs/hospital/delta?from=3", ""); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delta from=current after recovery: %d, want 204", resp.StatusCode)
+	}
+
+	// The recovered entry is fully live: the next PATCH goes through and its
+	// step delta is served.
+	if status, version, body := patchDoc(t, ts2, "hospital",
+		`{"op":"set-text","path":"/Hospital/Folder[1]/Admin/Fname","text":"post-restart"}`); status != http.StatusOK || version != 4 {
+		t.Fatalf("PATCH after recovery: %d / %d (%s)", status, version, body)
+	}
+	step, err := xmlac.UnmarshalUpdateDelta([]byte(getOK(t, ts2.URL+"/docs/hospital/delta?from=3")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.FromVersion != 3 || step.ToVersion != 4 {
+		t.Fatalf("post-recovery delta %d->%d, want 3->4", step.FromVersion, step.ToVersion)
+	}
+	if !strings.Contains(getOK(t, ts2.URL+"/docs/hospital/view?subject=secretary"), "post-restart") {
+		t.Fatal("post-recovery update not visible in the view")
+	}
+}
+
+// TestPersistenceCheckpointRecovery drives the checkpoint path: a one-byte
+// threshold forces a checkpoint after every append, so recovery reads
+// documents, policies and the retained delta history from checkpoint.db
+// rather than WAL replay.
+func TestPersistenceCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := openDurable(t, dir, Options{CheckpointWALBytes: 1})
+
+	putDoc(t, ts, "hospital", hospitalXML(4))
+	putPolicy(t, ts, "hospital", "secretary", secretaryRulesJSON)
+	if status, version, _ := patchDoc(t, ts, "hospital",
+		`{"op":"set-text","path":"/Hospital/Folder[1]/Admin/Fname","text":"ckpt"}`); status != http.StatusOK || version != 2 {
+		t.Fatalf("PATCH: %d / %d", status, version)
+	}
+
+	var metrics struct {
+		Storage struct {
+			Enabled     bool   `json:"enabled"`
+			Checkpoints uint64 `json:"checkpoints"`
+			WALRecords  uint64 `json:"wal_records"`
+		} `json:"storage"`
+	}
+	if err := json.Unmarshal([]byte(getOK(t, ts.URL+"/metrics")), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.Storage.Enabled || metrics.Storage.Checkpoints == 0 {
+		t.Fatalf("checkpoints not reported with a 1-byte threshold: %+v", metrics.Storage)
+	}
+	if metrics.Storage.WALRecords != 0 {
+		t.Fatalf("WAL not compacted after checkpoint: %d records live", metrics.Storage.WALRecords)
+	}
+
+	view := getOK(t, ts.URL+"/docs/hospital/view?subject=secretary")
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := openDurable(t, dir, Options{CheckpointWALBytes: 1})
+	if got := getOK(t, ts2.URL+"/docs/hospital/view?subject=secretary"); got != view {
+		t.Fatal("view recovered from checkpoint differs")
+	}
+	// The retained history survives WAL compaction: the 1 -> 2 delta was
+	// persisted inside the checkpoint's document metadata.
+	step, err := xmlac.UnmarshalUpdateDelta([]byte(getOK(t, ts2.URL+"/docs/hospital/delta?from=1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.FromVersion != 1 || step.ToVersion != 2 {
+		t.Fatalf("checkpoint-recovered delta %d->%d, want 1->2", step.FromVersion, step.ToVersion)
+	}
+}
+
+// TestPersistenceDeleteAcrossRestart: a DELETE is durable — the document
+// stays gone after recovery while its neighbors survive.
+func TestPersistenceDeleteAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := openDurable(t, dir, Options{})
+
+	putDoc(t, ts, "keep", hospitalXML(3))
+	putPolicy(t, ts, "keep", "secretary", secretaryRulesJSON)
+	putDoc(t, ts, "drop", hospitalXML(3))
+	if resp, body := do(t, http.MethodDelete, ts.URL+"/docs/drop", ""); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %d %s", resp.StatusCode, body)
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := openDurable(t, dir, Options{})
+	if resp, _ := do(t, http.MethodGet, ts2.URL+"/docs/drop", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted document resurrected after restart: %d", resp.StatusCode)
+	}
+	if body := getOK(t, ts2.URL+"/docs/keep/view?subject=secretary"); len(body) == 0 {
+		t.Fatal("surviving document lost its view after restart")
+	}
+}

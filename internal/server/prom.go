@@ -147,6 +147,30 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 			strconv.FormatInt(late, 10))
 	}
 
+	if s.persist != nil {
+		st := s.persist.engine.Stats()
+		promCounter(w, "xmlac_storage_wal_records", "Records in the live write-ahead log.", "gauge",
+			strconv.FormatInt(st.WALRecords, 10))
+		promCounter(w, "xmlac_storage_wal_bytes", "Byte size of the live write-ahead log.", "gauge",
+			strconv.FormatInt(st.WALBytes, 10))
+		promCounter(w, "xmlac_storage_wal_appends_total", "Records appended to the WAL since open.", "counter",
+			strconv.FormatInt(st.WALAppends, 10))
+		promCounter(w, "xmlac_storage_fsyncs_total", "fsyncs issued by the storage engine.", "counter",
+			strconv.FormatInt(st.Fsyncs, 10))
+		promCounter(w, "xmlac_storage_group_commits_total", "WAL appends that piggybacked on another append's fsync.", "counter",
+			strconv.FormatInt(st.GroupCommits, 10))
+		promCounter(w, "xmlac_storage_checkpoints_total", "Compacting checkpoints taken since open.", "counter",
+			strconv.FormatInt(st.Checkpoints, 10))
+		promCounter(w, "xmlac_storage_wal_tail_bytes_dropped", "Torn-tail bytes truncated during the last recovery.", "gauge",
+			strconv.FormatInt(st.TailBytesDropped, 10))
+		promCounter(w, "xmlac_storage_page_cache_hits_total", "Checkpoint page cache hits.", "counter",
+			strconv.FormatInt(st.PageCacheHits, 10))
+		promCounter(w, "xmlac_storage_page_cache_misses_total", "Checkpoint page cache misses.", "counter",
+			strconv.FormatInt(st.PageCacheMisses, 10))
+		promCounter(w, "xmlac_storage_page_cache_evictions_total", "Checkpoint pages evicted from the LRU cache.", "counter",
+			strconv.FormatInt(st.PageCacheEvicts, 10))
+	}
+
 	promCounter(w, "xmlac_bytes_transferred_total", "Ciphertext bytes transferred into evaluations (amortized for shared scans).", "counter",
 		strconv.FormatInt(totals.BytesTransferred, 10))
 	promCounter(w, "xmlac_bytes_decrypted_total", "Bytes decrypted by evaluations (amortized for shared scans).", "counter",

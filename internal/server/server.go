@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"xmlac"
+	"xmlac/internal/storage"
 	"xmlac/internal/trace"
 )
 
@@ -58,6 +59,21 @@ type Options struct {
 	// the batch runs at the largest parallelism among its members.
 	ViewParallelism int
 
+	// DataDir enables the durable storage engine rooted at this directory:
+	// every registration, policy installation, PATCH and delete is written
+	// ahead to a fsynced log before the request is acknowledged, and Open
+	// recovers the full store (documents, policies, retained deltas, ETags)
+	// from checkpoint + log replay. Empty keeps the store in-memory (the
+	// default, and what tests use). Requires the Open constructor.
+	DataDir string
+	// CheckpointWALBytes is the WAL size that triggers an atomic compacting
+	// checkpoint (<= 0 selects DefaultCheckpointWALBytes).
+	CheckpointWALBytes int64
+	// StorageNoSync disables the storage engine's per-commit fsyncs. For
+	// benchmarks isolating the fsync cost only: it voids the durability
+	// guarantee.
+	StorageNoSync bool
+
 	// Logger receives the structured access log (one line per request with
 	// the trace ID) and lifecycle events. nil discards everything — quiet by
 	// default for embedding and tests; cmd/xmlac-serve wires a real handler.
@@ -95,6 +111,7 @@ type Server struct {
 	logger   *slog.Logger
 	trace    *xmlac.Trace // nil when tracing is disabled
 	costs    *costRegistry
+	persist  *persister // nil when Options.DataDir is empty
 
 	// Scrape-facing latency/size distributions (GET /metrics.prom).
 	viewSeconds   *trace.Histogram
@@ -122,13 +139,32 @@ type Server struct {
 	totals   xmlac.Metrics
 }
 
-// New builds a server.
+// New builds an in-memory server. Persistence (Options.DataDir) requires the
+// Open constructor, whose recovery path can fail; New panics if asked for it.
 func New(opts Options) *Server {
+	if opts.DataDir != "" {
+		panic("server: Options.DataDir requires the Open constructor")
+	}
+	s, err := Open(opts)
+	if err != nil {
+		// Unreachable: without DataDir nothing in Open can fail.
+		panic("server: " + err.Error())
+	}
+	return s
+}
+
+// Open builds a server, attaching the durable storage engine and recovering
+// the store from it when Options.DataDir is set. The caller owns the result:
+// Close releases the data directory lock.
+func Open(opts Options) (*Server, error) {
 	if opts.DefaultScheme == "" {
 		opts.DefaultScheme = xmlac.SchemeECBMHT
 	}
 	if opts.MaxDocumentBytes <= 0 {
 		opts.MaxDocumentBytes = 64 << 20
+	}
+	if opts.CheckpointWALBytes <= 0 {
+		opts.CheckpointWALBytes = DefaultCheckpointWALBytes
 	}
 	if opts.clock == nil {
 		opts.clock = realClock{}
@@ -138,7 +174,7 @@ func New(opts Options) *Server {
 		logger = slog.New(discardHandler{})
 	}
 	s := &Server{
-		store:         NewStore(),
+		store:         newStoreWithClock(opts.clock),
 		cache:         NewPolicyCache(opts.CacheCapacity),
 		sessions:      NewSessionManager(opts.SessionIdle, opts.clock),
 		opts:          opts,
@@ -157,7 +193,34 @@ func New(opts Options) *Server {
 		s.coalesce = newCoalescer(opts.CoalesceWindow, opts.CoalesceMaxSubjects, opts.clock)
 		s.coalesce.batchHist = s.batchSubjects
 	}
-	return s
+	if opts.DataDir != "" {
+		eng, err := storage.Open(opts.DataDir, storage.Options{NoSync: opts.StorageNoSync})
+		if err != nil {
+			return nil, err
+		}
+		s.persist = &persister{engine: eng, store: s.store, logger: logger, threshold: opts.CheckpointWALBytes}
+		docs, replayed, err := s.recoverPersisted(eng)
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("server: recovering %s: %w", opts.DataDir, err)
+		}
+		st := eng.Stats()
+		logger.Info("store recovered",
+			slog.String("data_dir", opts.DataDir),
+			slog.Int("checkpoint_documents", docs),
+			slog.Int("wal_records_replayed", replayed),
+			slog.Int64("wal_tail_bytes_dropped", st.TailBytesDropped))
+	}
+	return s, nil
+}
+
+// Close releases the durable storage engine (WAL, page file, directory
+// lock). A no-op for in-memory servers.
+func (s *Server) Close() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.close()
 }
 
 // discardHandler is a slog.Handler that drops everything (slog.DiscardHandler
@@ -172,6 +235,62 @@ func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 // Store exposes the document store (used by cmd/xmlac-serve to preload demo
 // content and by tests).
 func (s *Server) Store() *Store { return s.store }
+
+// RegisterDocument registers (or replaces) a document through the full
+// server pipeline: store install, cache/session/coalescer invalidation, and
+// the durable registration record when persistence is enabled. An empty
+// scheme selects the server default. PUT /docs/{id} and the demo preload go
+// through here so both are durable.
+func (s *Server) RegisterDocument(id, xmlText, passphrase string, scheme xmlac.Scheme) (*DocumentEntry, error) {
+	if scheme == "" {
+		scheme = s.opts.DefaultScheme
+	}
+	// Invalidate before installing so cache and session state created for the
+	// new document by concurrent requests is never dropped. (Leftover
+	// old-document cache entries are harmless: keys are content-addressed by
+	// policy hash.)
+	s.cache.InvalidateDoc(id)
+	s.sessions.DropDocument(id)
+	entry, err := s.store.RegisterXML(id, xmlText, passphrase, scheme)
+	if err != nil {
+		return nil, err
+	}
+	// A re-registration replaces the blob a coalescing batch may have been
+	// admitted against: seal open batches (like PATCH does) so no shared scan
+	// admitted for the old document runs after the replacement.
+	if s.coalesce != nil {
+		s.coalesce.invalidateDoc(id)
+	}
+	if s.persist != nil {
+		if err := s.persist.logRegister(entry); err != nil {
+			return nil, fmt.Errorf("%w: registration of %q: %w", errDurability, id, err)
+		}
+	}
+	return entry, nil
+}
+
+// InstallPolicy validates and installs one subject's policy over a document,
+// writing the durable policy record when persistence is enabled.
+func (s *Server) InstallPolicy(docID, subject string, policy xmlac.Policy) (string, error) {
+	entry, err := s.store.Entry(docID)
+	if err != nil {
+		return "", err
+	}
+	hash, err := entry.SetPolicy(subject, policy)
+	if err != nil {
+		return "", err
+	}
+	if s.persist != nil {
+		rec, err := entry.PolicyFor(subject)
+		if err == nil {
+			err = s.persist.logPolicy(entry.ID, subject, rec)
+		}
+		if err != nil {
+			return "", fmt.Errorf("%w: policy %q/%q: %w", errDurability, docID, subject, err)
+		}
+	}
+	return hash, nil
+}
 
 // Cache exposes the compiled-policy cache.
 func (s *Server) Cache() *PolicyCache { return s.cache }
@@ -264,20 +383,21 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	passphrase := r.Header.Get("X-Xmlac-Passphrase")
-	// A re-registered document invalidates previous compilations and
-	// sessions before the new entry is installed, so cache and session
-	// state created for the new document by concurrent requests is never
-	// dropped. (Leftover old-document cache entries are harmless: keys are
-	// content-addressed by policy hash.)
-	s.cache.InvalidateDoc(id)
-	s.sessions.DropDocument(id)
-	entry, err := s.store.RegisterXML(id, string(body), passphrase, scheme)
+	entry, err := s.RegisterDocument(id, string(body), passphrase, scheme)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		status := http.StatusBadRequest
+		if errors.Is(err, errDurability) {
+			status = http.StatusInternalServerError
+		}
+		httpError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, entry.Info())
 }
+
+// errDurability marks a mutation that applied in memory but could not be
+// written durably; handlers answer it with a 500 rather than a client error.
+var errDurability = errors.New("server: durability failure")
 
 // patchPayload is the JSON body of PATCH /docs/{id}.
 type patchPayload struct {
@@ -331,6 +451,13 @@ func (s *Server) handlePatchDoc(w http.ResponseWriter, r *http.Request) {
 	s.cache.InvalidateDoc(id)
 	if s.coalesce != nil {
 		s.coalesce.invalidateDoc(id)
+	}
+	if s.persist != nil {
+		if err := s.persist.logPatch(entry, delta); err != nil {
+			s.updateErrors.Add(1)
+			httpError(w, http.StatusInternalServerError, "persisting update: %v", err)
+			return
+		}
 	}
 	s.updatesOK.Add(1)
 	s.chunksReencrypt.Add(int64(len(delta.DirtyChunks)))
@@ -408,6 +535,18 @@ func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cache.InvalidateDoc(id)
 	s.sessions.DropDocument(id)
+	// Open coalescing batches of the deleted document are sealed — exactly as
+	// on PATCH and re-register — so no admitted batch scans the removed entry
+	// after the delete was acknowledged.
+	if s.coalesce != nil {
+		s.coalesce.invalidateDoc(id)
+	}
+	if s.persist != nil {
+		if err := s.persist.logDelete(id); err != nil {
+			httpError(w, http.StatusInternalServerError, "persisting delete: %v", err)
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -421,8 +560,8 @@ type policyPayload struct {
 }
 
 func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
-	entry, err := s.store.Entry(r.PathValue("id"))
-	if err != nil {
+	id := r.PathValue("id")
+	if _, err := s.store.Entry(id); err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -440,13 +579,17 @@ func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	hash, err := entry.SetPolicy(subject, policy)
+	hash, err := s.InstallPolicy(id, subject, policy)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		status := http.StatusBadRequest
+		if errors.Is(err, errDurability) {
+			status = http.StatusInternalServerError
+		}
+		httpError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"document": entry.ID,
+		"document": id,
 		"subject":  subject,
 		"rules":    len(policy.Rules),
 		"hash":     hash,
@@ -794,6 +937,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		coalescing["max_subjects_per_scan"] = s.coalesce.maxSubjects
 		coalescing["documents"] = s.coalesce.Snapshot()
 	}
+	storageInfo := map[string]any{"enabled": s.persist != nil}
+	if s.persist != nil {
+		st := s.persist.engine.Stats()
+		storageInfo["wal_records"] = st.WALRecords
+		storageInfo["wal_bytes"] = st.WALBytes
+		storageInfo["wal_appends"] = st.WALAppends
+		storageInfo["fsyncs"] = st.Fsyncs
+		storageInfo["group_commits"] = st.GroupCommits
+		storageInfo["checkpoints"] = st.Checkpoints
+		storageInfo["tail_bytes_dropped"] = st.TailBytesDropped
+		storageInfo["page_cache_hits"] = st.PageCacheHits
+		storageInfo["page_cache_misses"] = st.PageCacheMisses
+		storageInfo["page_cache_evictions"] = st.PageCacheEvicts
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"go_version":     runtime.Version(),
@@ -816,6 +973,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"entries": s.cache.Len(),
 		},
 		"coalescing": coalescing,
+		"storage":    storageInfo,
 		"totals":     totals,
 		"sessions":   sessions,
 	})

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -31,9 +32,26 @@ const doctorRulesJSON = `{"rules":[
 	{"id":"D4","sign":"+","object":"//Folder[MedActs//RPhys = USER]/Analysis"}
 ]}`
 
+// newServerOpts constructs a server for tests. When XMLAC_TEST_DATA_DIR is
+// set (the CI persistence pass), every test server transparently runs against
+// the durable storage backend in a private temp directory, so the whole suite
+// doubles as a persistence-mode regression suite.
+func newServerOpts(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if os.Getenv("XMLAC_TEST_DATA_DIR") != "" && opts.DataDir == "" {
+		opts.DataDir = t.TempDir()
+	}
+	srv, err := Open(opts)
+	if err != nil {
+		t.Fatalf("opening server: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(Options{})
+	srv := newServerOpts(t, Options{})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"crypto/sha1"
 	"crypto/sha256"
 	"encoding/hex"
@@ -23,13 +24,24 @@ var ErrNotFound = errors.New("server: not found")
 // evaluates against the same immutable protected form, so reads never lock
 // out each other.
 type Store struct {
-	mu   sync.RWMutex
-	docs map[string]*DocumentEntry
+	mu    sync.RWMutex
+	docs  map[string]*DocumentEntry
+	clock clock
 }
 
-// NewStore builds an empty store.
+// NewStore builds an empty store on the real clock.
 func NewStore() *Store {
-	return &Store{docs: make(map[string]*DocumentEntry)}
+	return newStoreWithClock(nil)
+}
+
+// newStoreWithClock builds an empty store stamping times from c (nil selects
+// the real clock). The server threads its injected clock through here so
+// registration and policy timestamps are deterministic under the fake clock.
+func newStoreWithClock(c clock) *Store {
+	if c == nil {
+		c = realClock{}
+	}
+	return &Store{docs: make(map[string]*DocumentEntry), clock: c}
 }
 
 // DocumentEntry is one registered document with its key and the policies of
@@ -45,6 +57,13 @@ type DocumentEntry struct {
 
 	prot *xmlac.Protected
 	key  xmlac.Key
+	// passphrase is the effective registration passphrase the key was derived
+	// from. The persistence layer records it (trusted demo mode, like the key
+	// itself: the single-machine configuration trusts the server host) so
+	// recovery can re-derive the key with DeriveKey.
+	passphrase string
+	// clock stamps policy timestamps; inherited from the store.
+	clock clock
 
 	// updateMu serializes updates end to end (edit application, blob
 	// re-marshal, delta retention), keeping the version chain linear.
@@ -113,17 +132,19 @@ func (s *Store) RegisterXML(id, xmlText, passphrase string, scheme xmlac.Scheme)
 	blob := prot.Marshal()
 	sum := sha256.Sum256(blob)
 	entry := &DocumentEntry{
-		ID:        id,
-		Scheme:    scheme,
-		Stats:     doc.Stats(),
-		CreatedAt: time.Now(),
-		prot:      prot,
-		key:       key,
-		blob:      blob,
-		etag:      `"` + hex.EncodeToString(sum[:]) + `"`,
-		manifest:  prot.Manifest(),
-		version:   prot.Version(),
-		policies:  make(map[string]PolicyRecord),
+		ID:         id,
+		Scheme:     scheme,
+		Stats:      doc.Stats(),
+		CreatedAt:  s.clock.Now(),
+		prot:       prot,
+		key:        key,
+		passphrase: passphrase,
+		clock:      s.clock,
+		blob:       blob,
+		etag:       `"` + hex.EncodeToString(sum[:]) + `"`,
+		manifest:   prot.Manifest(),
+		version:    prot.Version(),
+		policies:   make(map[string]PolicyRecord),
 	}
 	s.mu.Lock()
 	s.docs[id] = entry
@@ -202,9 +223,18 @@ func (e *DocumentEntry) SetPolicy(subject string, policy xmlac.Policy) (string, 
 		return "", err
 	}
 	e.mu.Lock()
-	e.policies[subject] = PolicyRecord{Policy: policy, Hash: hash, UpdatedAt: time.Now()}
+	e.policies[subject] = PolicyRecord{Policy: policy, Hash: hash, UpdatedAt: e.now()}
 	e.mu.Unlock()
 	return hash, nil
+}
+
+// now stamps from the entry's injected clock (real time for entries built
+// outside a store, e.g. directly in tests).
+func (e *DocumentEntry) now() time.Time {
+	if e.clock != nil {
+		return e.clock.Now()
+	}
+	return time.Now()
 }
 
 // PolicyFor returns the policy record of a subject.
@@ -296,12 +326,162 @@ func (e *DocumentEntry) Update(edits []xmlac.Edit) (uint64, *xmlac.UpdateDelta, 
 	e.etag = `"` + hex.EncodeToString(sum[:]) + `"`
 	e.manifest = manifest
 	e.version = version
-	e.deltas = append(e.deltas, delta)
-	if len(e.deltas) > maxRetainedDeltas {
-		e.deltas = e.deltas[len(e.deltas)-maxRetainedDeltas:]
-	}
+	e.deltas = appendRetained(e.deltas, delta)
 	e.mu.Unlock()
 	return version, delta, nil
+}
+
+// appendRetained appends one update step and trims the history to the
+// retention window. The retained window is copied into a fresh slice —
+// reslicing in place would keep every evicted *UpdateDelta reachable through
+// the shared backing array for as long as the document lives.
+func appendRetained(deltas []*xmlac.UpdateDelta, delta *xmlac.UpdateDelta) []*xmlac.UpdateDelta {
+	deltas = append(deltas, delta)
+	if len(deltas) > maxRetainedDeltas {
+		trimmed := make([]*xmlac.UpdateDelta, maxRetainedDeltas)
+		copy(trimmed, deltas[len(deltas)-maxRetainedDeltas:])
+		deltas = trimmed
+	}
+	return deltas
+}
+
+// errStalePatch marks a replayed patch the entry already contains (the
+// checkpoint-overlap case after a crash between checkpoint rename and WAL
+// reset); recovery skips it.
+var errStalePatch = errors.New("server: recovered patch already applied")
+
+// installRecovered rebuilds a document entry from durable state: the
+// container bytes as the untrusted store held them, the registration
+// metadata, and the passphrase to re-derive the key (trusted demo mode, the
+// same single-machine configuration that holds the key in memory). The etag
+// and manifest are recomputed from the blob, so If-Range revalidation and
+// delta resync keep working across a restart.
+func (s *Store) installRecovered(id string, scheme xmlac.Scheme, stats xmlac.Stats, createdAt time.Time, passphrase string, blob []byte) (*DocumentEntry, error) {
+	prot, err := xmlac.UnmarshalProtected(blob)
+	if err != nil {
+		return nil, fmt.Errorf("server: recovering document %q: %w", id, err)
+	}
+	sum := sha256.Sum256(blob)
+	entry := &DocumentEntry{
+		ID:         id,
+		Scheme:     scheme,
+		Stats:      stats,
+		CreatedAt:  createdAt,
+		prot:       prot,
+		key:        xmlac.DeriveKey(passphrase),
+		passphrase: passphrase,
+		clock:      s.clock,
+		blob:       blob,
+		etag:       `"` + hex.EncodeToString(sum[:]) + `"`,
+		manifest:   prot.Manifest(),
+		version:    prot.Version(),
+		policies:   make(map[string]PolicyRecord),
+	}
+	s.mu.Lock()
+	s.docs[id] = entry
+	s.mu.Unlock()
+	return entry, nil
+}
+
+// setRecoveredPolicy reinstalls a subject's policy with its original
+// timestamp; the fingerprint is recomputed (it is content-addressed).
+func (e *DocumentEntry) setRecoveredPolicy(subject string, policy xmlac.Policy, updatedAt time.Time) error {
+	policy.Subject = subject
+	hash, err := policy.Fingerprint()
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.policies[subject] = PolicyRecord{Policy: policy, Hash: hash, UpdatedAt: updatedAt}
+	e.mu.Unlock()
+	return nil
+}
+
+// restoreDeltas reinstates the retained update history from a checkpoint.
+func (e *DocumentEntry) restoreDeltas(deltas []*xmlac.UpdateDelta) {
+	e.mu.Lock()
+	e.deltas = deltas
+	e.mu.Unlock()
+}
+
+// applyRecoveredPatch replays one WAL patch record: the new container is
+// rebuilt from the entry's current blob (clean chunks are byte-identical at
+// the same offsets — the position-bound chunk layout guarantees it), the
+// recorded new prefix and the recorded dirty chunk bytes, then verified
+// against the recorded content hash before it replaces the entry's surface.
+// A patch whose ToVersion the entry already reached is reported as
+// errStalePatch; a version gap is a hard error — recovery must fail loudly
+// rather than serve a state that never existed.
+func (e *DocumentEntry) applyRecoveredPatch(delta *xmlac.UpdateDelta, prefix, dirty []byte, wantSum []byte) error {
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	e.mu.RLock()
+	old := e.blob
+	oldMan := e.manifest
+	version := e.version
+	e.mu.RUnlock()
+	if delta.FromVersion != version {
+		if delta.ToVersion <= version {
+			return errStalePatch
+		}
+		return fmt.Errorf("server: recovered patch %d->%d does not chain from version %d of document %q",
+			delta.FromVersion, delta.ToVersion, version, e.ID)
+	}
+	cs := int64(oldMan.ChunkSize)
+	if cs <= 0 {
+		return fmt.Errorf("server: document %q has no chunk layout to patch", e.ID)
+	}
+	blob := make([]byte, 0, int64(len(prefix))+delta.NewCiphertextLen)
+	blob = append(blob, prefix...)
+	dirtySet := make(map[int]bool, len(delta.DirtyChunks))
+	for _, c := range delta.DirtyChunks {
+		dirtySet[c] = true
+	}
+	dpos := int64(0)
+	for start := int64(0); start < delta.NewCiphertextLen; start += cs {
+		end := start + cs
+		if end > delta.NewCiphertextLen {
+			end = delta.NewCiphertextLen
+		}
+		n := end - start
+		if dirtySet[int(start/cs)] {
+			if dpos+n > int64(len(dirty)) {
+				return fmt.Errorf("server: recovered patch for %q is short %d dirty bytes", e.ID, dpos+n-int64(len(dirty)))
+			}
+			blob = append(blob, dirty[dpos:dpos+n]...)
+			dpos += n
+			continue
+		}
+		off := oldMan.CiphertextOffset + start
+		if off+n > int64(len(old)) {
+			return fmt.Errorf("server: recovered patch for %q reuses chunk %d beyond the previous container", e.ID, int(start/cs))
+		}
+		blob = append(blob, old[off:off+n]...)
+	}
+	if dpos != int64(len(dirty)) {
+		return fmt.Errorf("server: recovered patch for %q carries %d unused dirty bytes", e.ID, int64(len(dirty))-dpos)
+	}
+	sum := sha256.Sum256(blob)
+	if !bytes.Equal(sum[:], wantSum) {
+		return fmt.Errorf("server: recovered patch for %q does not hash to the recorded content (%x != %x)", e.ID, sum[:8], wantSum[:8])
+	}
+	prot, err := xmlac.UnmarshalProtected(blob)
+	if err != nil {
+		return fmt.Errorf("server: recovered patch for %q yields an invalid container: %w", e.ID, err)
+	}
+	if got := prot.Version(); got != delta.ToVersion {
+		return fmt.Errorf("server: recovered patch for %q stamps version %d, record says %d", e.ID, got, delta.ToVersion)
+	}
+	manifest := prot.Manifest()
+	e.mu.Lock()
+	e.prot = prot
+	e.blob = blob
+	e.etag = `"` + hex.EncodeToString(sum[:]) + `"`
+	e.manifest = manifest
+	e.version = delta.ToVersion
+	e.deltas = appendRetained(e.deltas, delta)
+	e.mu.Unlock()
+	return nil
 }
 
 // DeltaSince merges the retained update steps from the given version to the

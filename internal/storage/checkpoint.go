@@ -1,0 +1,247 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// An atomic checkpoint compacts the WAL: the engine writes the whole store
+// state into a fresh page file, fsyncs it, renames it over the previous
+// checkpoint (the atomic commit point — a crash leaves either the old or the
+// new checkpoint, never a blend) and only then truncates the log. A crash
+// between rename and truncation replays compacted records on top of the new
+// checkpoint; replay is version-aware on the server side, so that is
+// harmless, merely redundant.
+//
+// Layout of checkpoint.db:
+//
+//	"XCKP\x01" | pageSize u32 | generation u64 | ndocs u32 |
+//	directory: ndocs × (idLen u16 | id | metaLen u32 | meta |
+//	                    blobLen u64 | firstPage u64) |
+//	dirCRC u32 | zero padding to a page boundary | page area
+//
+// Blobs occupy consecutive pages in directory order; the directory (ids and
+// metadata inline, blobs by page run) is CRC-guarded as a defence in depth —
+// the rename protocol should already make a torn checkpoint impossible.
+
+var checkpointMagic = []byte("XCKP\x01")
+
+const checkpointName = "checkpoint.db"
+
+// DocSnapshot is one document's durable state handed to Checkpoint: the
+// opaque metadata payload and the full container bytes.
+type DocSnapshot struct {
+	Doc  string
+	Meta []byte
+	Blob []byte
+}
+
+// CheckpointDoc is one document as read back from a checkpoint directory.
+type CheckpointDoc struct {
+	Doc  string
+	Meta []byte
+
+	blobLen   int64
+	firstPage int64
+}
+
+// writeCheckpoint builds the checkpoint file at path (complete and fsynced
+// on return, not yet renamed into place).
+func writeCheckpoint(path string, gen uint64, pageSize int, docs []DocSnapshot) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	header := append([]byte(nil), checkpointMagic...)
+	header = binary.LittleEndian.AppendUint32(header, uint32(pageSize))
+	header = binary.LittleEndian.AppendUint64(header, gen)
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(docs)))
+	nextPage := int64(0)
+	for _, d := range docs {
+		if len(d.Doc) == 0 || len(d.Doc) > maxNameLen {
+			return fmt.Errorf("storage: checkpoint document id length %d out of range", len(d.Doc))
+		}
+		header = binary.LittleEndian.AppendUint16(header, uint16(len(d.Doc)))
+		header = append(header, d.Doc...)
+		header = binary.LittleEndian.AppendUint32(header, uint32(len(d.Meta)))
+		header = append(header, d.Meta...)
+		header = binary.LittleEndian.AppendUint64(header, uint64(len(d.Blob)))
+		header = binary.LittleEndian.AppendUint64(header, uint64(nextPage))
+		nextPage += pagesFor(int64(len(d.Blob)), pageSize)
+	}
+	header = binary.LittleEndian.AppendUint32(header, crc32.ChecksumIEEE(header))
+	// Pad the directory to a page boundary so page 0 of the data area starts
+	// aligned and page arithmetic never mixes with the directory.
+	if rem := len(header) % pageSize; rem != 0 {
+		header = append(header, make([]byte, pageSize-rem)...)
+	}
+	if _, err := f.Write(header); err != nil {
+		return err
+	}
+	pad := make([]byte, pageSize)
+	for _, d := range docs {
+		if _, err := f.Write(d.Blob); err != nil {
+			return err
+		}
+		if rem := len(d.Blob) % pageSize; rem != 0 {
+			if _, err := f.Write(pad[:pageSize-rem]); err != nil {
+				return err
+			}
+		}
+	}
+	return f.Sync()
+}
+
+// openCheckpoint opens and validates the checkpoint at path, returning its
+// directory and a page file for blob reads. A missing file returns
+// (nil, nil, nil): an empty store.
+func openCheckpoint(path string, cache *pageCache) (*pageFile, []CheckpointDoc, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// The directory is small next to the blobs; read it through a prefix
+	// buffer that grows until the declared entries fit.
+	parse := func(buf []byte) ([]CheckpointDoc, int, uint64, int, error) {
+		pos := 0
+		need := func(n int) ([]byte, error) {
+			if len(buf)-pos < n {
+				return nil, fmt.Errorf("storage: truncated checkpoint directory")
+			}
+			b := buf[pos : pos+n]
+			pos += n
+			return b, nil
+		}
+		if m, err := need(len(checkpointMagic)); err != nil {
+			return nil, 0, 0, 0, err
+		} else {
+			for i, b := range checkpointMagic {
+				if m[i] != b {
+					return nil, 0, 0, 0, fmt.Errorf("storage: %s is not a checkpoint (bad magic)", path)
+				}
+			}
+		}
+		b, err := need(4 + 8 + 4)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		pageSize := int(binary.LittleEndian.Uint32(b[0:4]))
+		gen := binary.LittleEndian.Uint64(b[4:12])
+		ndocs := int(binary.LittleEndian.Uint32(b[12:16]))
+		if pageSize < 512 || pageSize > 1<<24 {
+			return nil, 0, 0, 0, fmt.Errorf("storage: implausible checkpoint page size %d", pageSize)
+		}
+		if ndocs > 1<<20 {
+			return nil, 0, 0, 0, fmt.Errorf("storage: implausible checkpoint document count %d", ndocs)
+		}
+		docs := make([]CheckpointDoc, 0, ndocs)
+		for i := 0; i < ndocs; i++ {
+			lb, err := need(2)
+			if err != nil {
+				return nil, 0, 0, 0, err
+			}
+			id, err := need(int(binary.LittleEndian.Uint16(lb)))
+			if err != nil {
+				return nil, 0, 0, 0, err
+			}
+			mb, err := need(4)
+			if err != nil {
+				return nil, 0, 0, 0, err
+			}
+			metaLen := int(binary.LittleEndian.Uint32(mb))
+			if metaLen > maxMetaLen {
+				return nil, 0, 0, 0, fmt.Errorf("storage: checkpoint metadata length %d out of range", metaLen)
+			}
+			meta, err := need(metaLen)
+			if err != nil {
+				return nil, 0, 0, 0, err
+			}
+			tail, err := need(16)
+			if err != nil {
+				return nil, 0, 0, 0, err
+			}
+			docs = append(docs, CheckpointDoc{
+				Doc:       string(id),
+				Meta:      append([]byte(nil), meta...),
+				blobLen:   int64(binary.LittleEndian.Uint64(tail[0:8])),
+				firstPage: int64(binary.LittleEndian.Uint64(tail[8:16])),
+			})
+		}
+		cb, err := need(4)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		want := binary.LittleEndian.Uint32(cb)
+		if crc32.ChecksumIEEE(buf[:pos-4]) != want {
+			return nil, 0, 0, 0, fmt.Errorf("storage: checkpoint directory CRC mismatch")
+		}
+		return docs, pageSize, gen, pos, nil
+	}
+	bufLen := int64(1 << 16)
+	for {
+		if bufLen > st.Size() {
+			bufLen = st.Size()
+		}
+		buf := make([]byte, bufLen)
+		if _, err := f.ReadAt(buf, 0); err != nil && int64(len(buf)) == bufLen {
+			f.Close()
+			return nil, nil, err
+		}
+		docs, pageSize, gen, _, perr := parse(buf)
+		if perr != nil {
+			if bufLen < st.Size() {
+				bufLen *= 4 // directory larger than the prefix guess: retry bigger
+				continue
+			}
+			f.Close()
+			return nil, nil, perr
+		}
+		dirPages := pagesFor(dirSize(docs), pageSize)
+		pf := &pageFile{
+			f:        f,
+			gen:      gen,
+			pageSize: pageSize,
+			dataOff:  dirPages * int64(pageSize),
+			numPages: pagesFor(st.Size(), pageSize) - dirPages,
+			cache:    cache,
+		}
+		return pf, docs, nil
+	}
+}
+
+// dirSize recomputes the byte size of a checkpoint directory (header, inline
+// entries, CRC) from its parsed entries.
+func dirSize(docs []CheckpointDoc) int64 {
+	n := int64(len(checkpointMagic) + 4 + 8 + 4)
+	for _, d := range docs {
+		n += 2 + int64(len(d.Doc)) + 4 + int64(len(d.Meta)) + 8 + 8
+	}
+	return n + 4
+}
+
+// replaceCheckpoint atomically installs tmpPath as the live checkpoint and
+// fsyncs the directory so the rename itself is durable.
+func replaceCheckpoint(dir, tmpPath string) error {
+	if err := os.Rename(tmpPath, filepath.Join(dir, checkpointName)); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,42 @@
+// Command gencorpus regenerates the committed FuzzWALRecord seed corpus from
+// canonical encoded records. Run from the repo root:
+//
+//	go run ./internal/storage/gencorpus
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xmlac/internal/storage"
+)
+
+func main() {
+	dir := "internal/storage/testdata/fuzz/FuzzWALRecord"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	seeds := map[string]storage.Record{
+		"seed_register": {Type: storage.RecordRegister, Doc: "hospital", Meta: []byte(`{"version":1}`), Blob: []byte("XSEC\x02container bytes")},
+		"seed_patch":    {Type: storage.RecordPatch, Doc: "hospital", Meta: []byte("XDLT delta"), Blob: []byte{7, 7, 7, 7, 7, 7, 7, 7}},
+		"seed_policy":   {Type: storage.RecordPolicy, Doc: "hospital", Subject: "secretary", Meta: []byte(`{"rules":[{"id":"S1","sign":"+","object":"//Admin"}]}`)},
+		"seed_delete":   {Type: storage.RecordDelete, Doc: "gone"},
+	}
+	for name, r := range seeds {
+		enc, err := storage.EncodeRecord(r)
+		if err != nil {
+			panic(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", enc)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+	}
+	// A frame with a declared length far past the buffer: the decoder must
+	// reject it without allocating.
+	trunc := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", []byte{1, 1, 0, 'd', 0, 0, 0xff, 0xff, 0xff, 0x7f})
+	if err := os.WriteFile(filepath.Join(dir, "seed_truncated"), []byte(trunc), 0o644); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// The checkpoint is a page file: blob bytes live in fixed-size pages, and
+// every read goes through an LRU page cache so re-reading a hot blob (or the
+// directory walking a recovery) costs page-cache hits, not disk reads. Pages
+// are keyed (generation, index) — each checkpoint bumps the generation, so a
+// compaction invalidates stale cached pages for free instead of walking the
+// cache.
+
+// DefaultPageSize is the page granularity of the checkpoint file.
+const DefaultPageSize = 4096
+
+// DefaultCachePages bounds the LRU page cache (pages, not bytes): 256 pages
+// of 4 KiB cache 1 MiB of the most recently read checkpoint data.
+const DefaultCachePages = 256
+
+// pageKey addresses one cached page.
+type pageKey struct {
+	gen  uint64
+	page int64
+}
+
+// pageCache is a concurrency-safe LRU of checkpoint pages with hit/miss
+// accounting (surfaced on /metrics.prom — cache behaviour is tuning input,
+// not a hard-coded constant, per the auto-administration line of work).
+type pageCache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[pageKey]*list.Element
+	order     *list.List // front = most recently used
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type pageEntry struct {
+	key  pageKey
+	data []byte
+}
+
+func newPageCache(capacity int) *pageCache {
+	if capacity <= 0 {
+		capacity = DefaultCachePages
+	}
+	return &pageCache{
+		capacity: capacity,
+		entries:  make(map[pageKey]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached page or nil, promoting hits to most-recently-used.
+func (c *pageCache) get(key pageKey) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*pageEntry).data
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// put inserts a page, evicting from the LRU tail when full.
+func (c *pageCache) put(key pageKey, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*pageEntry).data = data
+		return
+	}
+	c.entries[key] = c.order.PushFront(&pageEntry{key: key, data: data})
+	for len(c.entries) > c.capacity {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*pageEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// pageFile is the read side of one checkpoint generation: fixed-size pages
+// starting at dataOff in the file, read through the shared cache.
+type pageFile struct {
+	f        *os.File
+	gen      uint64
+	pageSize int
+	dataOff  int64 // file offset of page 0
+	numPages int64
+	cache    *pageCache
+}
+
+// readPage returns one page (the last page may be short), serving from the
+// cache when possible.
+func (p *pageFile) readPage(page int64) ([]byte, error) {
+	if page < 0 || page >= p.numPages {
+		return nil, fmt.Errorf("storage: page %d out of range (%d pages)", page, p.numPages)
+	}
+	key := pageKey{gen: p.gen, page: page}
+	if data := p.cache.get(key); data != nil {
+		return data, nil
+	}
+	buf := make([]byte, p.pageSize)
+	n, err := p.f.ReadAt(buf, p.dataOff+page*int64(p.pageSize))
+	if err != nil && (n == 0 || page != p.numPages-1) {
+		return nil, fmt.Errorf("storage: reading checkpoint page %d: %w", page, err)
+	}
+	buf = buf[:n]
+	p.cache.put(key, buf)
+	return buf, nil
+}
+
+// readRun assembles length bytes starting at the given first page: how a
+// blob stored as a page run comes back out. Every page passes through the
+// cache, so re-reading a blob after recovery is all hits.
+func (p *pageFile) readRun(firstPage int64, length int64) ([]byte, error) {
+	out := make([]byte, 0, length)
+	for page := firstPage; int64(len(out)) < length; page++ {
+		data, err := p.readPage(page)
+		if err != nil {
+			return nil, err
+		}
+		need := length - int64(len(out))
+		if int64(len(data)) > need {
+			data = data[:need]
+		}
+		out = append(out, data...)
+		if int64(len(data)) < need && len(data) < p.pageSize {
+			return nil, fmt.Errorf("storage: checkpoint page run truncated at page %d", page)
+		}
+	}
+	return out, nil
+}
+
+// pagesFor returns how many pages a byte length occupies.
+func pagesFor(length int64, pageSize int) int64 {
+	return (length + int64(pageSize) - 1) / int64(pageSize)
+}

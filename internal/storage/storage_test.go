@@ -1,0 +1,432 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testRecord(i int) Record {
+	return Record{
+		Type: RecordRegister,
+		Doc:  fmt.Sprintf("doc-%d", i),
+		Meta: []byte(fmt.Sprintf(`{"seq":%d}`, i)),
+		Blob: bytes.Repeat([]byte{byte(i)}, 100+i),
+	}
+}
+
+func recordsEqual(a, b Record) bool {
+	return a.Type == b.Type && a.Doc == b.Doc && a.Subject == b.Subject &&
+		bytes.Equal(a.Meta, b.Meta) && bytes.Equal(a.Blob, b.Blob)
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Type: RecordRegister, Doc: "hospital", Meta: []byte("{}"), Blob: []byte{1, 2, 3}},
+		{Type: RecordPatch, Doc: "a", Meta: bytes.Repeat([]byte("m"), 1000)},
+		{Type: RecordPolicy, Doc: "hospital", Subject: "secretary", Meta: []byte(`{"rules":[]}`)},
+		{Type: RecordDelete, Doc: "gone"},
+	}
+	for _, want := range recs {
+		enc, err := EncodeRecord(want)
+		if err != nil {
+			t.Fatalf("encode %v: %v", want.Type, err)
+		}
+		got, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", want.Type, err)
+		}
+		if !recordsEqual(want, got) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", want, got)
+		}
+	}
+}
+
+func TestRecordDecodeRejectsGarbage(t *testing.T) {
+	good, err := EncodeRecord(Record{Type: RecordRegister, Doc: "d", Blob: []byte("xyz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"unknown type":  append([]byte{99}, good[1:]...),
+		"truncated":     good[:len(good)-2],
+		"trailing":      append(append([]byte(nil), good...), 0),
+		"empty doc id":  {byte(RecordRegister), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"short doc len": {byte(RecordRegister), 5},
+	}
+	for name, data := range cases {
+		if _, err := DecodeRecord(data); err == nil {
+			t.Errorf("%s: decode accepted invalid payload", name)
+		}
+	}
+	// A declared length larger than the buffer must fail cleanly, not allocate.
+	huge := []byte{byte(RecordRegister), 1, 0, 'd', 0, 0, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := DecodeRecord(huge); err == nil {
+		t.Error("oversized declared length accepted")
+	}
+}
+
+func TestRecordEncodeBounds(t *testing.T) {
+	if _, err := EncodeRecord(Record{Type: RecordRegister, Doc: ""}); err == nil {
+		t.Error("empty doc id encoded")
+	}
+	if _, err := EncodeRecord(Record{Type: RecordType(9), Doc: "d"}); err == nil {
+		t.Error("unknown type encoded")
+	}
+	if _, err := EncodeRecord(Record{Type: RecordRegister, Doc: string(bytes.Repeat([]byte("a"), maxNameLen+1))}); err == nil {
+		t.Error("oversized doc id encoded")
+	}
+}
+
+func TestWALAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 10; i++ {
+		r := testRecord(i)
+		want = append(want, r)
+		if err := e.Append(r); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got := e2.WALRecords()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(want[i], got[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if len(e2.CheckpointDocs()) != 0 {
+		t.Fatalf("no checkpoint was taken, got %d docs", len(e2.CheckpointDocs()))
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+
+	walPath := filepath.Join(dir, "wal.log")
+	recs, err := ReadWALFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("wal holds %d records, want 5", len(recs))
+	}
+	// Tear the file in the middle of the last frame.
+	cut := recs[4].Start + (recs[4].End-recs[4].Start)/2
+	if err := os.Truncate(walPath, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e2.WALRecords()); got != 4 {
+		t.Fatalf("recovered %d records after torn tail, want 4", got)
+	}
+	if d := e2.Stats().TailBytesDropped; d != cut-recs[4].Start {
+		t.Fatalf("dropped %d tail bytes, want %d", d, cut-recs[4].Start)
+	}
+	// The truncation is durable: a re-open sees a clean 4-record log.
+	e2.Close()
+	recs, err = ReadWALFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("log holds %d records after truncation, want 4", len(recs))
+	}
+}
+
+func TestWALCorruptFrameStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+
+	walPath := filepath.Join(dir, "wal.log")
+	recs, err := ReadWALFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside record 2: CRC fails there, so recovery keeps
+	// records 0-1 and drops everything from the corrupt frame on.
+	f, err := os.OpenFile(walPath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, recs[2].Start+frameHeaderSize+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	e2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := len(e2.WALRecords()); got != 2 {
+		t.Fatalf("recovered %d records after corruption, want 2", got)
+	}
+}
+
+func TestGroupCommitSharesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Prime the log so the lazy header write is out of the way.
+	if err := e.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	base := e.Stats()
+
+	// Hold the group-commit leader slot while N appends pile up behind it;
+	// releasing it lets exactly one leader fsync for the whole group.
+	const n = 8
+	e.wal.syncMu.Lock()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- e.Append(testRecord(i))
+		}(i)
+	}
+	for {
+		e.wal.mu.Lock()
+		appended := e.wal.appended
+		e.wal.mu.Unlock()
+		if appended >= uint64(n)+1 {
+			break
+		}
+	}
+	e.wal.syncMu.Unlock()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := e.Stats()
+	if got := st.Fsyncs - base.Fsyncs; got != 1 {
+		t.Fatalf("group of %d appends used %d fsyncs, want 1", n, got)
+	}
+	if got := st.GroupCommits - base.GroupCommits; got != n-1 {
+		t.Fatalf("%d appends piggybacked, want %d", got, n-1)
+	}
+}
+
+func TestCheckpointAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{PageSize: 512, CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := []DocSnapshot{
+		{Doc: "alpha", Meta: []byte(`{"v":3}`), Blob: bytes.Repeat([]byte("A"), 1300)},
+		{Doc: "beta", Meta: []byte(`{"v":1}`), Blob: bytes.Repeat([]byte("B"), 512)},
+		{Doc: "gamma", Meta: []byte(`{"v":7}`), Blob: []byte("tiny")},
+	}
+	for i := 0; i < 3; i++ {
+		if err := e.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Checkpoint(snaps); err != nil {
+		t.Fatal(err)
+	}
+	if e.WALSize() != 0 {
+		t.Fatalf("wal size %d after checkpoint, want 0", e.WALSize())
+	}
+	// Post-checkpoint appends land in the fresh log.
+	extra := Record{Type: RecordPolicy, Doc: "alpha", Subject: "s", Meta: []byte("{}")}
+	if err := e.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	e2, err := Open(dir, Options{PageSize: 512, CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	docs := e2.CheckpointDocs()
+	if len(docs) != len(snaps) {
+		t.Fatalf("recovered %d checkpoint docs, want %d", len(docs), len(snaps))
+	}
+	for i, d := range docs {
+		if d.Doc != snaps[i].Doc || !bytes.Equal(d.Meta, snaps[i].Meta) {
+			t.Fatalf("doc %d directory mismatch: %q", i, d.Doc)
+		}
+		blob, err := e2.ReadBlob(d)
+		if err != nil {
+			t.Fatalf("read blob %q: %v", d.Doc, err)
+		}
+		if !bytes.Equal(blob, snaps[i].Blob) {
+			t.Fatalf("blob %q differs after recovery", d.Doc)
+		}
+	}
+	wrecs := e2.WALRecords()
+	if len(wrecs) != 1 || !recordsEqual(wrecs[0], extra) {
+		t.Fatalf("recovered wal = %d records, want the 1 post-checkpoint append", len(wrecs))
+	}
+
+	// Re-reading the same blobs is all page-cache hits.
+	st := e2.Stats()
+	for _, d := range docs {
+		if _, err := e2.ReadBlob(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := e2.Stats()
+	if st2.PageCacheMisses != st.PageCacheMisses {
+		t.Fatalf("re-read caused %d cache misses, want 0", st2.PageCacheMisses-st.PageCacheMisses)
+	}
+	if st2.PageCacheHits <= st.PageCacheHits {
+		t.Fatal("re-read produced no cache hits")
+	}
+}
+
+func TestCheckpointSupersedesOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Checkpoint([]DocSnapshot{{Doc: "d", Blob: bytes.Repeat([]byte("x"), 600)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ReadBlob(e.CheckpointDocs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Second checkpoint bumps the generation: reads hit the new pages.
+	if err := e.Checkpoint([]DocSnapshot{{Doc: "d", Blob: bytes.Repeat([]byte("y"), 700)}}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e.ReadBlob(e.CheckpointDocs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != 700 || blob[0] != 'y' {
+		t.Fatalf("read stale generation: %d bytes, first %q", len(blob), blob[0])
+	}
+	if got := e.Stats().Checkpoints; got != 2 {
+		t.Fatalf("Checkpoints = %d, want 2", got)
+	}
+}
+
+func TestPageCacheLRUEviction(t *testing.T) {
+	c := newPageCache(2)
+	c.put(pageKey{1, 0}, []byte("a"))
+	c.put(pageKey{1, 1}, []byte("b"))
+	if c.get(pageKey{1, 0}) == nil { // promote page 0
+		t.Fatal("miss on cached page")
+	}
+	c.put(pageKey{1, 2}, []byte("c")) // evicts page 1, the LRU tail
+	if c.get(pageKey{1, 1}) != nil {
+		t.Fatal("LRU tail survived eviction")
+	}
+	if c.get(pageKey{1, 0}) == nil || c.get(pageKey{1, 2}) == nil {
+		t.Fatal("promoted or fresh page evicted")
+	}
+	if ev := c.evictions.Load(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a locked directory succeeded")
+	}
+	e.Close()
+	// The lock dies with the descriptor: reopening after Close works.
+	e2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	e2.Close()
+}
+
+func TestWALRecordExtents(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := e.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	recs, err := ReadWALFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(len(walMagic))
+	for i, r := range recs {
+		if r.Start != off {
+			t.Fatalf("record %d starts at %d, want %d", i, r.Start, off)
+		}
+		if r.End <= r.Start+frameHeaderSize {
+			t.Fatalf("record %d has empty extent", i)
+		}
+		off = r.End
+	}
+	st, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != st.Size() {
+		t.Fatalf("extents cover %d bytes, file is %d", off, st.Size())
+	}
+}
